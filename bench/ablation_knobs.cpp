@@ -1,0 +1,76 @@
+// Ablations over EMLIO's design knobs (DESIGN.md §6) — the parameters §4.5
+// fixes (HWM=16, multi-stream, B, prefetch Q) swept to show why those
+// defaults hold. All at WAN 30 ms RTT on the ImageNet workload, where the
+// pipelining machinery matters most.
+#include "bench_common.h"
+#include "eval/loader_models.h"
+
+using namespace emlio;
+
+namespace {
+
+// The knobs bind when EMLIO is network/daemon-bound, not train-bound: big
+// 2 MB records (64 MB batches), a fast consumer, and WAN RTT.
+eval::ScenarioConfig base() {
+  auto cfg = eval::centralized(eval::LoaderKind::kEmlio, workload::presets::synthetic_2mb(),
+                               train::presets::resnet50(), sim::presets::wan_30ms());
+  cfg.params.batch_size = 32;
+  return cfg;
+}
+
+void sweep(const char* title, const char* unit,
+           const std::vector<std::size_t>& values,
+           void (*apply)(eval::ScenarioConfig&, std::size_t)) {
+  std::printf("-- ablation: %s\n", title);
+  std::printf("   %8s  duration_s  cpu_kJ  gpu_kJ  MB/s\n", unit);
+  for (auto v : values) {
+    auto cfg = base();
+    apply(cfg, v);
+    auto r = eval::run_scenario(cfg);
+    std::printf("   %8zu  %10.1f  %6.1f  %6.1f  %5.0f\n", v, r.duration_s,
+                r.total.cpu_joules / 1e3, r.total.gpu_joules / 1e3, r.io_throughput_mb_s);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_testbed_header("Ablations — EMLIO design knobs @WAN 30 ms");
+
+  // The HWM binds only when everything upstream is fast (NVMe-class disk,
+  // many SendWorkers, small batches) and the in-flight window must cover the
+  // bandwidth-delay product of the WAN path.
+  sweep("ZMQ high-water mark (paper fixes 16; 1 stream, T=8, B=8, NVMe disk)", "HWM",
+        {1, 2, 4, 16, 64}, [](eval::ScenarioConfig& cfg, std::size_t v) {
+          cfg.params.emlio_hwm = v;
+          cfg.params.emlio_streams = 1;  // isolate the HWM effect
+          cfg.params.emlio_daemon_threads = 8;
+          cfg.params.batch_size = 8;
+          cfg.storage_node.disk_bytes_per_sec = 3e9;
+        });
+
+  sweep("daemon SendWorker threads T", "T", {1, 2, 4, 8},
+        [](eval::ScenarioConfig& cfg, std::size_t v) { cfg.params.emlio_daemon_threads = v; });
+
+  sweep("parallel TCP streams (HWM=2 each, T=4)", "streams", {1, 2, 4, 8},
+        [](eval::ScenarioConfig& cfg, std::size_t v) {
+          cfg.params.emlio_streams = v;
+          cfg.params.emlio_hwm = 2;
+          cfg.params.emlio_daemon_threads = 4;
+        });
+
+  sweep("batch size B", "B", {32, 64, 128, 256, 512},
+        [](eval::ScenarioConfig& cfg, std::size_t v) { cfg.params.batch_size = v; });
+
+  sweep("receiver prefetch depth Q (T=4)", "Q", {1, 2, 4, 8},
+        [](eval::ScenarioConfig& cfg, std::size_t v) {
+          cfg.params.emlio_prefetch_q = v;
+          cfg.params.emlio_daemon_threads = 4;
+        });
+
+  std::printf("   reading: small HWM with one stream throttles in-flight batches under WAN\n"
+              "   RTT; T lifts the serializer bottleneck on 2 MB records (the Fig 7->8\n"
+              "   effect); B amortizes per-batch setup; modest Q suffices once upstream\n"
+              "   stages keep the queue non-empty.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Shared helpers for the figure-reproduction benches: the Table-1 header
+// every binary prints, and the results-file plumbing.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "eval/scenario.h"
+#include "sim/testbed.h"
+
+namespace emlio::bench {
+
+/// Print the Table-1 testbed header (hardware the simulator models).
+inline void print_testbed_header(const std::string& title) {
+  std::printf("================================================================\n");
+  std::printf("EMLIO reproduction bench: %s\n", title.c_str());
+  std::printf("Testbed (paper Table 1):\n");
+  std::printf("  %s\n", sim::describe(sim::presets::uc_compute()).c_str());
+  std::printf("  %s\n", sim::describe(sim::presets::uc_storage()).c_str());
+  std::printf("  %s\n", sim::describe(sim::presets::tacc_compute()).c_str());
+  std::printf("  %s\n", sim::describe(sim::presets::tacc_storage()).c_str());
+  std::printf("================================================================\n");
+}
+
+/// Where benches append machine-readable rows (one JSON doc per line).
+inline const char* results_path() { return "emlio_bench_results.jsonl"; }
+
+inline void finish(const eval::FigureTable& table) {
+  std::fputs(table.render().c_str(), stdout);
+  eval::append_results(table, results_path());
+}
+
+}  // namespace emlio::bench

@@ -1,0 +1,62 @@
+// Future-work extensions (paper §6), implemented and measured:
+//
+//  (1) heterogeneous transports — the EMLIO wire path over classic TCP/ZMQ,
+//      RDMA verbs (zero-copy, ~60 % lower host byte-moving cost) and
+//      NVMe-over-Fabrics (no serialize stage; fabric round trip per extent
+//      read, pipelined by deep queues);
+//  (2) beyond TFRecord — a packed text-for-LLM workload (2.5 M × 4 KiB
+//      sequences), the many-tiny-records regime where per-file loaders are
+//      at their worst.
+#include "bench_common.h"
+#include "eval/loader_models.h"
+
+using namespace emlio;
+
+int main() {
+  bench::print_testbed_header("Future work (§6) — fabrics + LLM text workload");
+
+  // (1) Fabric sweep on the synthetic 2 MB workload at WAN 30 ms, where the
+  // serialize stage and host byte-moving costs are most visible.
+  std::printf("-- fabrics: EMLIO wire path, synthetic 2 MB @WAN 30 ms (T=1)\n");
+  std::printf("   %-8s  duration_s  cpu_kJ(compute)  cpu_kJ(storage)  MB/s\n", "fabric");
+  struct FabricCase {
+    eval::Fabric fabric;
+    const char* name;
+  } fabrics[] = {
+      {eval::Fabric::kTcpZmq, "tcp/zmq"},
+      {eval::Fabric::kRdma, "rdma"},
+      {eval::Fabric::kNvmeOf, "nvme-of"},
+  };
+  for (const auto& f : fabrics) {
+    auto cfg = eval::centralized(eval::LoaderKind::kEmlio, workload::presets::synthetic_2mb(),
+                                 train::presets::resnet50_synthetic(), sim::presets::wan_30ms());
+    cfg.params.batch_size = 32;
+    cfg.params.emlio_daemon_threads = 1;  // expose the serialize stage
+    cfg.fabric = f.fabric;
+    auto r = eval::run_scenario(cfg);
+    std::printf("   %-8s  %10.1f  %15.2f  %15.2f  %5.0f\n", f.name, r.duration_s,
+                r.compute_energy[0].cpu_joules / 1e3, r.storage_energy.cpu_joules / 1e3,
+                r.io_throughput_mb_s);
+  }
+  std::printf("   expectation: rdma shortens the serialize-bound epoch and trims host CPU\n"
+              "   energy; nvme-of removes the daemon serialize stage entirely.\n\n");
+
+  // (2) LLM text workload: EMLIO vs DALI-style per-file reads at 10 ms RTT.
+  std::printf("-- beyond TFRecord: packed LLM text (2.5M x 4 KiB) @LAN 10 ms\n");
+  std::printf("   %-8s  duration_s  cpu_kJ  gpu_kJ  MB/s\n", "loader");
+  for (auto kind : {eval::LoaderKind::kDali, eval::LoaderKind::kEmlio}) {
+    auto cfg = eval::centralized(kind, workload::presets::llm_text_10gb(),
+                                 train::presets::resnet50(), sim::presets::lan_10ms());
+    // A transformer consumes sequences far faster than a CNN consumes
+    // images; per-sequence step ≈ 60 µs keeps the GPU floor near 150 s.
+    cfg.model.gpu_train_per_sample = from_micros(60);
+    cfg.params.batch_size = 512;  // LLM-style global batch of sequences
+    auto r = eval::run_scenario(cfg);
+    std::printf("   %-8s  %10.1f  %6.1f  %6.1f  %5.0f\n",
+                kind == eval::LoaderKind::kDali ? "per-file" : "EMLIO", r.duration_s,
+                r.total.cpu_joules / 1e3, r.total.gpu_joules / 1e3, r.io_throughput_mb_s);
+  }
+  std::printf("   expectation: 4 KiB files make the per-file loader pure-RTT-bound; EMLIO's\n"
+              "   pre-batched streaming is two orders of magnitude faster here.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// google-benchmark microbenches for the hot paths: CRC32C, TFRecord framing
+// and slicing, msgpack batch encode/decode, and sample generation.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "common/crc32c.h"
+#include "msgpack/batch_codec.h"
+#include "tfrecord/reader.h"
+#include "workload/materialize.h"
+
+using namespace emlio;
+
+namespace {
+
+std::vector<std::uint8_t> payload(std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  Rng rng(7);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng());
+  return out;
+}
+
+void BM_Crc32c(benchmark::State& state) {
+  auto data = payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c::masked(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(1024)->Arg(100 * 1024)->Arg(1024 * 1024);
+
+void BM_BatchEncode(benchmark::State& state) {
+  msgpack::WireBatch batch;
+  auto n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    msgpack::WireSample s;
+    s.index = i;
+    s.label = static_cast<std::int64_t>(i);
+    s.bytes = payload(100 * 1024);  // ImageNet-sized samples
+    batch.samples.push_back(std::move(s));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(msgpack::BatchCodec::encode(batch));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.payload_bytes()));
+}
+BENCHMARK(BM_BatchEncode)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_BatchDecode(benchmark::State& state) {
+  msgpack::WireBatch batch;
+  for (std::size_t i = 0; i < 32; ++i) {
+    msgpack::WireSample s;
+    s.index = i;
+    s.bytes = payload(static_cast<std::size_t>(state.range(0)));
+    batch.samples.push_back(std::move(s));
+  }
+  auto encoded = msgpack::BatchCodec::encode(batch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(msgpack::BatchCodec::decode(encoded));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(encoded.size()));
+}
+BENCHMARK(BM_BatchDecode)->Arg(100 * 1024)->Arg(2 * 1024 * 1024);
+
+void BM_TfrecordSlice(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  auto dir = fs::temp_directory_path() / "emlio_micro_codec";
+  fs::remove_all(dir);
+  auto spec = workload::presets::tiny(256, 16 * 1024);
+  auto built = workload::materialize_tfrecord(spec, dir.string(), 1);
+  tfrecord::ShardReader reader(built.shards[0]);
+  auto batch = static_cast<std::size_t>(state.range(0));
+  std::size_t pos = 0;
+  for (auto _ : state) {
+    if (pos + batch > reader.num_records()) pos = 0;
+    benchmark::DoNotOptimize(reader.slice(pos, batch));
+    pos += batch;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_TfrecordSlice)->Arg(8)->Arg(64);
+
+void BM_SampleGenerate(benchmark::State& state) {
+  workload::SampleGenerator gen(workload::presets::tiny(1024, 100 * 1024));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.generate(i++ % 1024));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 100 * 1024);
+}
+BENCHMARK(BM_SampleGenerate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Remote-storage comparison on real threads — the paper's Scenario 1 at
+// miniature scale, runnable on a laptop.
+//
+// Builds one dataset in both layouts (per-sample files and TFRecord shards),
+// then trains one epoch three ways at each emulated RTT:
+//   * PyTorch-style FileLoader reading per-sample files through a
+//     latency-injected store (every file pays NFS-style round trips),
+//   * the same FileLoader at RTT 0 (the "local" reference),
+//   * EMLIO over the latency-injected in-process channel (pre-batched
+//     streaming; RTT only delays pipeline fill).
+//
+// The output shows the paper's core effect with *real* threads and queues:
+// the per-file loader's epoch time grows with RTT, EMLIO's barely moves.
+//
+// Run: ./imagenet_remote   (takes a few seconds; latencies are ms-scale)
+#include <cstdio>
+#include <filesystem>
+
+#include "baselines/file_loader.h"
+#include "common/clock.h"
+#include "core/service.h"
+#include "train/trainer.h"
+#include "workload/materialize.h"
+
+using namespace emlio;
+
+namespace {
+
+double run_file_loader(const workload::DatasetSpec& spec, const std::string& dir, double rtt_ms) {
+  std::shared_ptr<storage::FileStore> store = std::make_shared<storage::LocalFileStore>();
+  if (rtt_ms > 0) {
+    storage::LatencyFileStore::Options opt;
+    opt.rtt_ms = rtt_ms;
+    store = std::make_shared<storage::LatencyFileStore>(std::move(store), opt);
+  }
+  baselines::FileLoaderConfig cfg;
+  cfg.dataset_dir = dir;
+  cfg.num_samples = spec.num_samples;
+  cfg.batch_size = 16;
+  cfg.num_workers = 4;
+  baselines::FileLoader loader(cfg, store);
+
+  train::TrainerOptions topt;
+  topt.expected_samples_per_epoch = spec.num_samples;
+  train::Trainer trainer(topt);
+  trainer.start_epoch(0);
+
+  Stopwatch sw(SteadyClock::instance());
+  loader.start();
+  while (auto batch = loader.next_batch()) {
+    if (batch->last) break;
+    trainer.train_step(*batch);
+  }
+  double seconds = sw.elapsed_seconds();
+  if (!trainer.end_epoch().clean(spec.num_samples)) std::printf("  (epoch not clean!)\n");
+  return seconds;
+}
+
+double run_emlio(const workload::DatasetSpec& spec, const std::string& dir, double rtt_ms) {
+  core::ServiceConfig cfg;
+  cfg.dataset_dir = dir;
+  cfg.batch_size = 16;
+  cfg.threads_per_node = 2;
+  cfg.transport = core::Transport::kInProcess;
+  cfg.link.rtt_ms = rtt_ms;
+  core::EmlioService service(cfg);
+
+  train::TrainerOptions topt;
+  topt.expected_samples_per_epoch = spec.num_samples;
+  train::Trainer trainer(topt);
+  trainer.start_epoch(0);
+
+  Stopwatch sw(SteadyClock::instance());
+  service.start();
+  while (auto batch = service.next_batch()) {
+    if (batch->last) break;
+    trainer.train_step(*batch);
+  }
+  double seconds = sw.elapsed_seconds();
+  if (!trainer.end_epoch().clean(spec.num_samples)) std::printf("  (epoch not clean!)\n");
+  service.stop();
+  return seconds;
+}
+
+}  // namespace
+
+int main() {
+  namespace fs = std::filesystem;
+  auto root = fs::temp_directory_path() / "emlio_remote_example";
+  fs::remove_all(root);
+
+  auto spec = workload::presets::tiny(192, 8 * 1024);
+  workload::materialize_files(spec, (root / "files").string());
+  workload::materialize_tfrecord(spec, (root / "tfrecord").string(), 4);
+
+  std::printf("mini Scenario 1: %llu samples x %llu KiB, RTT injected in-process\n",
+              static_cast<unsigned long long>(spec.num_samples),
+              static_cast<unsigned long long>(spec.bytes_per_sample / 1024));
+  std::printf("  rtt_ms   per-file loader [s]   EMLIO [s]\n");
+  for (double rtt : {0.0, 1.0, 3.0}) {
+    double file_s = run_file_loader(spec, (root / "files").string(), rtt);
+    double emlio_s = run_emlio(spec, (root / "tfrecord").string(), rtt);
+    std::printf("  %6.1f   %19.2f   %9.2f\n", rtt, file_s, emlio_s);
+  }
+  std::printf("expected shape: the per-file column grows ~linearly with RTT; EMLIO's barely "
+              "moves (pre-batched pipelined streaming).\n");
+  fs::remove_all(root);
+  return 0;
+}

@@ -1,0 +1,16 @@
+#include "common/clock.h"
+
+namespace emlio {
+
+Nanos SteadyClock::now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const SteadyClock& SteadyClock::instance() {
+  static const SteadyClock clock;
+  return clock;
+}
+
+}  // namespace emlio

@@ -1,0 +1,65 @@
+// Wall/steady clock helpers and the virtual-vs-real clock abstraction.
+//
+// The real-time path (daemon, receiver, monitor threads) reads the steady
+// clock; the discrete-event simulator supplies virtual time through the same
+// Clock interface, so the energy monitor and timestamp logger work unchanged
+// in both modes (the paper's NTP-aligned timestamps map to a shared epoch).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace emlio {
+
+/// Nanoseconds since an arbitrary epoch; the unit of all timestamps.
+using Nanos = std::int64_t;
+
+/// Seconds as double — the unit used in reports and figures.
+inline double to_seconds(Nanos ns) { return static_cast<double>(ns) * 1e-9; }
+inline Nanos from_seconds(double s) { return static_cast<Nanos>(s * 1e9); }
+inline Nanos from_millis(double ms) { return static_cast<Nanos>(ms * 1e6); }
+inline Nanos from_micros(double us) { return static_cast<Nanos>(us * 1e3); }
+
+/// Abstract time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in nanoseconds since this clock's epoch.
+  virtual Nanos now() const = 0;
+};
+
+/// Monotonic wall clock (std::chrono::steady_clock).
+class SteadyClock final : public Clock {
+ public:
+  Nanos now() const override;
+  /// Process-wide shared instance.
+  static const SteadyClock& instance();
+};
+
+/// Manually-advanced clock for unit tests and the simulator.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(Nanos start = 0) : now_(start) {}
+  Nanos now() const override { return now_; }
+  void advance(Nanos dt) { now_ += dt; }
+  void set(Nanos t) { now_ = t; }
+
+ private:
+  Nanos now_;
+};
+
+/// Stopwatch over an arbitrary Clock.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock& clock) : clock_(&clock), start_(clock.now()) {}
+  /// Elapsed nanoseconds since construction or last reset().
+  Nanos elapsed() const { return clock_->now() - start_; }
+  double elapsed_seconds() const { return to_seconds(elapsed()); }
+  void reset() { start_ = clock_->now(); }
+
+ private:
+  const Clock* clock_;
+  Nanos start_;
+};
+
+}  // namespace emlio

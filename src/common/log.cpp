@@ -1,0 +1,33 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace emlio::log {
+
+namespace {
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_mutex;
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+Level level() { return g_level.load(std::memory_order_relaxed); }
+bool enabled(Level lv) { return lv >= level(); }
+
+void write(Level lv, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s] %s\n", level_name(lv), message.c_str());
+}
+
+}  // namespace emlio::log

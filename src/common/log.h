@@ -1,0 +1,52 @@
+// Minimal leveled logger.
+//
+// The daemon, receiver and monitor are multi-threaded; log lines are
+// assembled into a single string before the (mutex-guarded) write so lines
+// never interleave. Level is process-global and cheap to check.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace emlio::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set the global minimum level (default: kWarn so tests stay quiet).
+void set_level(Level level);
+Level level();
+
+/// True if a message at `level` would be emitted.
+bool enabled(Level level);
+
+/// Emit a single line at `level` (thread-safe).
+void write(Level level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+}  // namespace detail
+
+/// Convenience formatters: LOG_INFO("daemon ", id, " sent ", n, " batches").
+template <typename... Args>
+void debug(Args&&... args) {
+  if (enabled(Level::kDebug)) write(Level::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void info(Args&&... args) {
+  if (enabled(Level::kInfo)) write(Level::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void warn(Args&&... args) {
+  if (enabled(Level::kWarn)) write(Level::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void error(Args&&... args) {
+  if (enabled(Level::kError)) write(Level::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace emlio::log

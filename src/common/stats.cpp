@@ -1,0 +1,90 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace emlio {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  std::size_t n = n_ + other.n_;
+  double delta = other.mean_ - mean_;
+  double mean = mean_ + delta * static_cast<double>(other.n_) / static_cast<double>(n);
+  m2_ = m2_ + other.m2_ +
+        delta * delta * static_cast<double>(n_) * static_cast<double>(other.n_) /
+            static_cast<double>(n);
+  mean_ = mean;
+  n_ = n;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double min_value, double growth, std::size_t buckets)
+    : min_value_(min_value > 0 ? min_value : 1e-9),
+      growth_(growth > 1.0 ? growth : 1.1),
+      counts_(buckets ? buckets : 1, 0) {}
+
+std::size_t Histogram::bucket_for(double x) const {
+  if (x <= min_value_) return 0;
+  double idx = std::log(x / min_value_) / std::log(growth_);
+  auto i = static_cast<std::size_t>(std::max(0.0, idx));
+  return std::min(i, counts_.size() - 1);
+}
+
+double Histogram::bucket_mid(std::size_t i) const {
+  double lo = min_value_ * std::pow(growth_, static_cast<double>(i));
+  return lo * std::sqrt(growth_);
+}
+
+void Histogram::add(double x) {
+  ++counts_[bucket_for(x)];
+  ++total_;
+  stats_.add(x);
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target) return bucket_mid(i);
+  }
+  return bucket_mid(counts_.size() - 1);
+}
+
+std::string Histogram::summary() const {
+  std::ostringstream oss;
+  oss << "n=" << total_ << " mean=" << stats_.mean() << " p50=" << p50() << " p95=" << p95()
+      << " p99=" << p99() << " max=" << stats_.max();
+  return oss.str();
+}
+
+}  // namespace emlio

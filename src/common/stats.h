@@ -1,0 +1,71 @@
+// Streaming statistics and fixed-width histograms used by the benchmark
+// harness (per-batch latency distributions, tail-latency reporting) and the
+// energy report aggregation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace emlio {
+
+/// Welford-style running mean/variance plus min/max.
+class RunningStats {
+ public:
+  /// Fold one observation into the summary.
+  void add(double x);
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+  /// Merge another summary into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Log-bucketed latency histogram with approximate percentiles.
+/// Buckets grow geometrically from `min_value` by `growth` per bucket.
+class Histogram {
+ public:
+  Histogram(double min_value = 1e-6, double growth = 1.2, std::size_t buckets = 128);
+
+  void add(double x);
+  std::size_t count() const noexcept { return total_; }
+
+  /// Approximate quantile (q in [0,1]) from bucket midpoints.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+  /// Human-readable one-line summary (count/mean/p50/p95/p99/max).
+  std::string summary() const;
+
+  const RunningStats& stats() const noexcept { return stats_; }
+
+ private:
+  std::size_t bucket_for(double x) const;
+  double bucket_mid(std::size_t i) const;
+
+  double min_value_;
+  double growth_;
+  std::vector<std::uint64_t> counts_;
+  std::size_t total_ = 0;
+  RunningStats stats_;
+};
+
+}  // namespace emlio

@@ -1,0 +1,48 @@
+#include "common/timestamp_logger.h"
+
+namespace emlio {
+
+void TimestampLogger::record(std::string label, std::int64_t detail) {
+  Nanos now = clock_->now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(Event{now, std::move(label), detail});
+}
+
+std::vector<TimestampLogger::Event> TimestampLogger::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::vector<TimestampLogger::Event> TimestampLogger::events_with_label(
+    const std::string& label) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Event> out;
+  for (const auto& e : events_) {
+    if (e.label == label) out.push_back(e);
+  }
+  return out;
+}
+
+Nanos TimestampLogger::span(const std::string& start, const std::string& end) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Nanos first = -1;
+  Nanos last = -1;
+  for (const auto& e : events_) {
+    if (first < 0 && e.label == start) first = e.timestamp;
+    if (e.label == end) last = e.timestamp;
+  }
+  if (first < 0 || last < 0 || last < first) return 0;
+  return last - first;
+}
+
+std::size_t TimestampLogger::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void TimestampLogger::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+}  // namespace emlio

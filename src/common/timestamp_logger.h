@@ -1,0 +1,51 @@
+// Shared TimestampLogger utility (paper §4.5).
+//
+// Both the EMLIO sender and receiver log events — batch send, batch receipt,
+// epoch start/end — through one of these, enabling post-hoc alignment with
+// the energy traces stored in the TSDB. Events carry a label, an optional
+// integer detail (batch id, byte count) and the timestamp from the injected
+// Clock so the logger works under both real and virtual time.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace emlio {
+
+class TimestampLogger {
+ public:
+  struct Event {
+    Nanos timestamp;
+    std::string label;
+    std::int64_t detail;
+  };
+
+  explicit TimestampLogger(const Clock& clock) : clock_(&clock) {}
+
+  /// Record an event at the current clock time (thread-safe).
+  void record(std::string label, std::int64_t detail = 0);
+
+  /// Snapshot of all events recorded so far, in record order.
+  std::vector<Event> events() const;
+
+  /// Events whose label matches exactly.
+  std::vector<Event> events_with_label(const std::string& label) const;
+
+  /// Time between the first event labelled `start` and the last labelled
+  /// `end`; 0 if either is missing.
+  Nanos span(const std::string& start, const std::string& end) const;
+
+  std::size_t size() const;
+
+  void clear();
+
+ private:
+  const Clock* clock_;
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+};
+
+}  // namespace emlio

@@ -1,0 +1,123 @@
+#include "core/daemon.h"
+
+#include <stdexcept>
+#include <thread>
+
+#include "common/log.h"
+
+namespace emlio::core {
+
+Daemon::Daemon(DaemonConfig config, std::vector<tfrecord::ShardReader> readers,
+               std::map<std::uint32_t, std::shared_ptr<net::MessageSink>> sinks,
+               TimestampLogger* timestamps)
+    : config_(std::move(config)), sinks_(std::move(sinks)), timestamps_(timestamps) {
+  for (auto& r : readers) {
+    std::uint32_t id = r.index().shard_id;
+    readers_.emplace(id, std::move(r));
+  }
+}
+
+std::vector<std::uint32_t> Daemon::shard_ids() const {
+  std::vector<std::uint32_t> out;
+  for (const auto& [id, r] : readers_) out.push_back(id);
+  return out;
+}
+
+DaemonStats Daemon::stats() const {
+  return DaemonStats{batches_sent_.load(), samples_sent_.load(), bytes_sent_.load()};
+}
+
+msgpack::WireBatch Daemon::build_batch(const BatchAssignment& a) const {
+  const auto& reader = readers_.at(a.shard_id);
+  const auto& index = reader.index();
+  msgpack::WireBatch batch;
+  batch.epoch = a.epoch;
+  batch.batch_id = a.batch_id;
+  batch.node_id = a.node_id;
+  batch.shard_id = a.shard_id;
+  // One contiguous slice: B records, zero-copy views into the mmap.
+  auto views = reader.slice(a.first_record, a.count, config_.verify_crc);
+  batch.samples.reserve(views.size());
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    const auto& entry = index.records[a.first_record + i];
+    msgpack::WireSample s;
+    s.index = entry.sample_index;
+    s.label = entry.label;
+    s.bytes.assign(views[i].begin(), views[i].end());
+    batch.samples.push_back(std::move(s));
+  }
+  return batch;
+}
+
+void Daemon::send_worker(const WorkerPlan& worker, std::uint32_t epoch,
+                         std::atomic<std::uint64_t>& node_counter) {
+  auto sink_it = sinks_.find(worker.node_id);
+  if (sink_it == sinks_.end()) {
+    throw std::runtime_error("daemon: no sink for node " + std::to_string(worker.node_id));
+  }
+  net::MessageSink& sink = *sink_it->second;
+
+  for (const auto& a : worker.batches) {
+    if (readers_.find(a.shard_id) == readers_.end()) continue;  // another daemon's shard
+    msgpack::WireBatch batch = build_batch(a);
+    std::uint64_t nsamples = batch.samples.size();
+    std::vector<std::uint8_t> payload = msgpack::BatchCodec::encode(batch);
+    std::uint64_t nbytes = payload.size();
+    if (timestamps_) timestamps_->record("batch_send", static_cast<std::int64_t>(a.batch_id));
+    if (!sink.send(std::move(payload))) {
+      log::warn("daemon ", config_.daemon_id, ": sink closed mid-epoch ", epoch);
+      return;
+    }
+    batches_sent_.fetch_add(1, std::memory_order_relaxed);
+    samples_sent_.fetch_add(nsamples, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(nbytes, std::memory_order_relaxed);
+    node_counter.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Daemon::serve_epoch(const EpochPlan& plan) {
+  if (timestamps_) timestamps_->record("epoch_start", plan.epoch);
+
+  // Per-destination batch counters: the sentinel carries how many data
+  // batches this daemon shipped, so the receiver can detect cross-stream
+  // sentinel overtaking (see batch_codec.h).
+  std::map<std::uint32_t, std::atomic<std::uint64_t>> counters;
+  for (const auto& [node_id, sink] : sinks_) counters[node_id] = 0;
+
+  // Launch every worker that has at least one locally-owned assignment.
+  std::vector<std::thread> threads;
+  for (const auto& node : plan.nodes) {
+    for (const auto& worker : node.workers) {
+      bool local = false;
+      for (const auto& b : worker.batches) {
+        if (readers_.count(b.shard_id)) {
+          local = true;
+          break;
+        }
+      }
+      if (local) {
+        threads.emplace_back([this, &worker, epoch = plan.epoch,
+                              counter = &counters.at(worker.node_id)] {
+          send_worker(worker, epoch, *counter);
+        });
+      }
+    }
+  }
+  for (auto& t : threads) t.join();
+
+  // End-of-epoch sentinel to every destination node this daemon serves.
+  for (auto& [node_id, sink] : sinks_) {
+    auto sentinel = msgpack::BatchCodec::make_sentinel(node_id, plan.epoch,
+                                                       counters.at(node_id).load());
+    sink->send(msgpack::BatchCodec::encode(sentinel));
+  }
+  if (timestamps_) timestamps_->record("epoch_end", plan.epoch);
+}
+
+void Daemon::serve(const Planner& planner, std::size_t num_nodes) {
+  for (std::uint32_t e = 0; e < planner.config().epochs; ++e) {
+    serve_epoch(planner.plan_epoch(e, num_nodes));
+  }
+}
+
+}  // namespace emlio::core

@@ -1,0 +1,77 @@
+// The EMLIO Daemon (storage side, §4.1 / Algorithm 2 lines 5–8).
+//
+// Runs on every storage node. For each epoch it takes the node plans whose
+// shards it owns and launches T SendWorker threads; each SendWorker walks
+// its assignments, slices B records straight out of the mmap'd shard
+// (zero-copy views), msgpack-serializes the group into one payload and
+// PUSHes it to the destination node's MessageSink. The sink's high-water
+// mark provides the blocking-send backpressure of §4.5. Read/serialize and
+// network send run on different threads (the sink's internal sender), so
+// disk and network stay concurrently busy — design principle (1).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/timestamp_logger.h"
+#include "core/planner.h"
+#include "msgpack/batch_codec.h"
+#include "net/channel.h"
+#include "tfrecord/reader.h"
+
+namespace emlio::core {
+
+struct DaemonConfig {
+  std::string daemon_id = "daemon0";
+  bool verify_crc = false;  ///< re-verify TFRecord CRCs on the hot path
+};
+
+struct DaemonStats {
+  std::uint64_t batches_sent = 0;
+  std::uint64_t samples_sent = 0;
+  std::uint64_t bytes_sent = 0;  ///< serialized payload bytes
+};
+
+class Daemon {
+ public:
+  /// `readers`: the shards this storage node owns.
+  /// `sinks`: destination compute nodes, indexed by node_id. Sinks are
+  /// shared (other daemons may push to the same receiver).
+  Daemon(DaemonConfig config, std::vector<tfrecord::ShardReader> readers,
+         std::map<std::uint32_t, std::shared_ptr<net::MessageSink>> sinks,
+         TimestampLogger* timestamps = nullptr);
+
+  /// Serve one epoch of `plan` (blocking): launches the plan's SendWorker
+  /// threads for assignments whose shards are local, joins them, then sends
+  /// one end-of-epoch sentinel per destination node.
+  void serve_epoch(const EpochPlan& plan);
+
+  /// Serve all epochs [0, epochs) from the planner.
+  void serve(const Planner& planner, std::size_t num_nodes);
+
+  DaemonStats stats() const;
+
+  /// Shards owned by this daemon.
+  std::vector<std::uint32_t> shard_ids() const;
+
+ private:
+  void send_worker(const WorkerPlan& worker, std::uint32_t epoch,
+                   std::atomic<std::uint64_t>& node_counter);
+  msgpack::WireBatch build_batch(const BatchAssignment& assignment) const;
+
+  DaemonConfig config_;
+  std::map<std::uint32_t, tfrecord::ShardReader> readers_;
+  std::map<std::uint32_t, std::shared_ptr<net::MessageSink>> sinks_;
+  TimestampLogger* timestamps_;
+
+  std::atomic<std::uint64_t> batches_sent_{0};
+  std::atomic<std::uint64_t> samples_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+};
+
+}  // namespace emlio::core

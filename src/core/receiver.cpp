@@ -1,0 +1,110 @@
+#include "core/receiver.h"
+
+#include "common/log.h"
+
+namespace emlio::core {
+
+Receiver::Receiver(ReceiverConfig config, std::unique_ptr<net::MessageSource> source,
+                   TimestampLogger* timestamps)
+    : config_(config),
+      source_(std::move(source)),
+      timestamps_(timestamps),
+      queue_(config.queue_capacity) {
+  if (!source_) throw std::invalid_argument("receiver: null message source");
+  thread_ = std::thread([this] { receive_loop(); });
+}
+
+Receiver::~Receiver() {
+  close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Receiver::close() {
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+  source_->close();
+  queue_.close();
+}
+
+ReceiverStats Receiver::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+std::optional<msgpack::WireBatch> Receiver::next() { return queue_.pop(); }
+
+bool Receiver::deliver_ready() {
+  // An epoch completes when every sender's sentinel arrived AND all the
+  // batches those sentinels counted have been delivered — robust against
+  // sentinels overtaking data on parallel streams. Completing an epoch makes
+  // the next one current and flushes any of its buffered batches.
+  for (;;) {
+    auto& progress = epochs_[current_epoch_];
+    if (progress.sentinels != config_.num_senders ||
+        progress.received_batches < progress.expected_batches) {
+      return true;  // current epoch still in flight
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.epochs_completed;
+    }
+    if (timestamps_) timestamps_->record("epoch_complete", current_epoch_);
+    auto marker =
+        msgpack::BatchCodec::make_sentinel(0, current_epoch_, progress.expected_batches);
+    if (!queue_.push(std::move(marker))) return false;
+
+    epochs_.erase(current_epoch_);
+    ++current_epoch_;
+    auto it = pending_.find(current_epoch_);
+    if (it != pending_.end()) {
+      for (auto& held : it->second) {
+        if (!queue_.push(std::move(held))) return false;
+      }
+      pending_.erase(it);
+    }
+  }
+}
+
+void Receiver::receive_loop() {
+  for (;;) {
+    auto payload = source_->recv();
+    if (!payload) break;  // transport closed
+    msgpack::WireBatch batch;
+    try {
+      batch = msgpack::BatchCodec::decode(*payload);
+    } catch (const std::exception& e) {
+      log::error("receiver: undecodable payload (", e.what(), ")");
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.decode_errors;
+      continue;
+    }
+
+    const std::uint32_t epoch = batch.epoch;
+    auto& progress = epochs_[epoch];
+    if (batch.last) {
+      ++progress.sentinels;
+      progress.expected_batches += batch.sent_count;
+    } else {
+      ++progress.received_batches;
+      if (timestamps_) {
+        timestamps_->record("batch_recv", static_cast<std::int64_t>(batch.batch_id));
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.batches_received;
+        stats_.samples_received += batch.samples.size();
+        stats_.bytes_received += payload->size();
+      }
+      if (epoch == current_epoch_) {
+        if (!queue_.push(std::move(batch))) break;  // closed locally
+      } else {
+        // Parallel streams can let epoch e+1 data overtake epoch e's tail;
+        // hold it until its epoch becomes current.
+        pending_[epoch].push_back(std::move(batch));
+      }
+    }
+    if (!deliver_ready()) break;
+  }
+  queue_.close();
+}
+
+}  // namespace emlio::core

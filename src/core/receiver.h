@@ -1,0 +1,88 @@
+// The EMLIO Receiver (compute side, §4.4 / Algorithm 3 lines 1–2).
+//
+// A receiver thread pulls msgpack payloads off the transport, deserializes
+// them, and pushes WireBatches into a bounded shared in-memory queue (the
+// paper's "shared Queue"). next() hands batches to the DALI-style pipeline's
+// external_source. End-of-epoch detection: each serving daemon sends one
+// sentinel per epoch; once all `num_senders` sentinels for the current epoch
+// have arrived, next() emits a single empty batch with last=true, then
+// resumes with the following epoch's data.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "common/bounded_queue.h"
+#include "common/timestamp_logger.h"
+#include "msgpack/batch_codec.h"
+#include "net/channel.h"
+
+namespace emlio::core {
+
+struct ReceiverConfig {
+  std::size_t num_senders = 1;     ///< daemons pushing to this node
+  std::size_t queue_capacity = 16; ///< shared queue depth (receiver HWM)
+};
+
+struct ReceiverStats {
+  std::uint64_t batches_received = 0;
+  std::uint64_t samples_received = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t decode_errors = 0;
+  std::uint64_t epochs_completed = 0;
+};
+
+class Receiver {
+ public:
+  /// Takes ownership of the source; spawns the receiver thread immediately.
+  Receiver(ReceiverConfig config, std::unique_ptr<net::MessageSource> source,
+           TimestampLogger* timestamps = nullptr);
+
+  /// Stops the thread and closes the source.
+  ~Receiver();
+
+  Receiver(const Receiver&) = delete;
+  Receiver& operator=(const Receiver&) = delete;
+
+  /// Next batch. A returned batch with last=true (and no samples) marks the
+  /// end of one epoch. Empty optional means the transport closed for good.
+  std::optional<msgpack::WireBatch> next();
+
+  /// Stop receiving (unblocks next()). Idempotent.
+  void close();
+
+  ReceiverStats stats() const;
+
+ private:
+  void receive_loop();
+
+  ReceiverConfig config_;
+  std::unique_ptr<net::MessageSource> source_;
+  TimestampLogger* timestamps_;
+  BoundedQueue<msgpack::WireBatch> queue_;
+  std::thread thread_;
+  std::atomic<bool> closed_{false};
+
+  // Written only by the receiver thread. Epoch completion requires all
+  // senders' sentinels AND all their counted data batches (multi-stream
+  // transports do not order sentinels against data).
+  struct EpochProgress {
+    std::size_t sentinels = 0;
+    std::uint64_t expected_batches = 0;  // summed from sentinels' nsent
+    std::uint64_t received_batches = 0;
+  };
+  bool deliver_ready();
+  std::map<std::uint32_t, EpochProgress> epochs_;
+  /// Data batches of future epochs, held until their epoch becomes current
+  /// (epochs are delivered strictly in order).
+  std::map<std::uint32_t, std::vector<msgpack::WireBatch>> pending_;
+  std::uint32_t current_epoch_ = 0;
+
+  mutable std::mutex stats_mutex_;
+  ReceiverStats stats_;
+};
+
+}  // namespace emlio::core

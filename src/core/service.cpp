@@ -1,0 +1,118 @@
+#include "core/service.h"
+
+#include <stdexcept>
+
+namespace emlio::core {
+
+namespace {
+
+/// Adapter giving PushSocket shared-ptr MessageSink semantics with
+/// close-on-last-owner.
+std::shared_ptr<net::MessageSink> wrap_push(std::unique_ptr<net::PushSocket> push) {
+  return std::shared_ptr<net::MessageSink>(std::move(push));
+}
+
+}  // namespace
+
+EmlioService::EmlioService(ServiceConfig config)
+    : config_(std::move(config)), timestamps_(SteadyClock::instance()) {
+  indexes_ = tfrecord::load_all_indexes(config_.dataset_dir);
+  if (indexes_.empty()) {
+    throw std::runtime_error("emlio service: no shards found in " + config_.dataset_dir);
+  }
+  PlannerConfig pc;
+  pc.batch_size = config_.batch_size;
+  pc.epochs = config_.epochs;
+  pc.threads_per_node = config_.threads_per_node;
+  pc.seed = config_.seed;
+  pc.shuffle = config_.shuffle;
+  planner_ = std::make_unique<Planner>(indexes_, pc);
+}
+
+EmlioService::~EmlioService() { stop(); }
+
+void EmlioService::start() {
+  if (started_) return;
+  started_ = true;
+
+  std::shared_ptr<net::MessageSink> sink;
+  std::unique_ptr<net::MessageSource> source;
+
+  if (config_.transport == Transport::kTcp) {
+    pull_ = std::make_unique<net::PullSocket>(/*port=*/0, config_.receiver_queue);
+    net::PushPullOptions opts;
+    opts.high_water_mark = config_.high_water_mark;
+    opts.num_streams = config_.num_streams;
+    auto push = std::make_unique<net::PushSocket>("127.0.0.1", pull_->port(), opts);
+    sink = wrap_push(std::move(push));
+    // The receiver owns a thin forwarder over the pull socket.
+    struct PullSource final : net::MessageSource {
+      explicit PullSource(net::PullSocket* socket) : socket_(socket) {}
+      std::optional<std::vector<std::uint8_t>> recv() override { return socket_->recv(); }
+      void close() override { socket_->close(); }
+      net::PullSocket* socket_;
+    };
+    source = std::make_unique<PullSource>(pull_.get());
+  } else {
+    net::SimLinkConfig link = config_.link;
+    link.high_water_mark = config_.high_water_mark;
+    auto channel = net::make_sim_channel(link);
+    sink = std::shared_ptr<net::MessageSink>(std::move(channel.sink));
+    source = std::move(channel.source);
+    link_control_ = channel.control;
+  }
+
+  // Single compute node (id 0); one daemon owning every shard.
+  std::vector<tfrecord::ShardReader> readers;
+  readers.reserve(indexes_.size());
+  for (const auto& idx : indexes_) readers.emplace_back(idx);
+
+  std::map<std::uint32_t, std::shared_ptr<net::MessageSink>> sinks;
+  sinks[0] = sink;
+
+  DaemonConfig dc;
+  dc.daemon_id = "daemon0";
+  dc.verify_crc = config_.verify_crc;
+  daemon_ = std::make_unique<Daemon>(dc, std::move(readers), std::move(sinks), &timestamps_);
+
+  ReceiverConfig rc;
+  rc.num_senders = 1;
+  rc.queue_capacity = config_.receiver_queue;
+  receiver_ = std::make_unique<Receiver>(rc, std::move(source), &timestamps_);
+
+  daemon_thread_ = std::thread([this, sink] {
+    daemon_->serve(*planner_, /*num_nodes=*/1);
+    sink->close();  // daemon finished all epochs: flush & end the stream
+  });
+}
+
+std::optional<msgpack::WireBatch> EmlioService::next_batch() {
+  if (!started_) throw std::logic_error("emlio service: next_batch before start");
+  // The service knows E, so it ends the stream after the final epoch marker —
+  // a TCP pull socket by itself cannot distinguish "no more data ever" from
+  // "sender momentarily quiet".
+  if (epochs_done_ >= config_.epochs) return std::nullopt;
+  auto batch = receiver_->next();
+  if (batch && batch->last) ++epochs_done_;
+  return batch;
+}
+
+void EmlioService::stop() {
+  if (!started_) return;
+  // Order matters for abnormal shutdown: closing the pull socket first makes
+  // any in-flight daemon send fail fast instead of blocking on a TCP window
+  // that will never reopen.
+  if (receiver_) receiver_->close();
+  if (pull_) pull_->close();
+  if (daemon_thread_.joinable()) daemon_thread_.join();
+  started_ = false;
+}
+
+ServiceStats EmlioService::stats() const {
+  ServiceStats s;
+  if (daemon_) s.daemon = daemon_->stats();
+  if (receiver_) s.receiver = receiver_->stats();
+  return s;
+}
+
+}  // namespace emlio::core

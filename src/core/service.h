@@ -1,0 +1,92 @@
+// EmlioService — one-call wiring of the full EMLIO stack for a single
+// compute node: Planner → Daemon (background thread) → transport →
+// Receiver → BatchProvider. This is the public entry point the examples and
+// integration tests use; multi-node deployments compose Planner/Daemon/
+// Receiver directly (see examples/sharded_cluster.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "common/timestamp_logger.h"
+#include "core/daemon.h"
+#include "core/planner.h"
+#include "core/receiver.h"
+#include "net/push_pull.h"
+#include "net/sim_channel.h"
+
+namespace emlio::core {
+
+/// Transport between daemon and receiver.
+enum class Transport {
+  kInProcess,  ///< latency-injectable in-process channel (tests, emulation)
+  kTcp,        ///< framed TCP over loopback (the production path)
+};
+
+struct ServiceConfig {
+  std::string dataset_dir;            ///< TFRecord shards + mapping JSONs
+  std::size_t batch_size = 32;        ///< B
+  std::uint32_t epochs = 1;           ///< E
+  std::uint32_t threads_per_node = 2; ///< T — daemon SendWorker threads
+  std::size_t high_water_mark = 16;   ///< ZMQ-style HWM
+  std::size_t num_streams = 2;        ///< parallel TCP streams (kTcp)
+  std::size_t receiver_queue = 16;    ///< shared in-memory queue depth
+  std::uint64_t seed = 1234;
+  bool shuffle = true;
+  bool verify_crc = false;
+  Transport transport = Transport::kInProcess;
+  net::SimLinkConfig link;            ///< kInProcess latency/bandwidth model
+};
+
+/// Aggregated run statistics.
+struct ServiceStats {
+  DaemonStats daemon;
+  ReceiverStats receiver;
+};
+
+class EmlioService {
+ public:
+  /// Loads shard indexes and builds the planner. Throws if the dataset
+  /// directory has no shards.
+  explicit EmlioService(ServiceConfig config);
+
+  /// Destructor stops everything.
+  ~EmlioService();
+
+  EmlioService(const EmlioService&) = delete;
+  EmlioService& operator=(const EmlioService&) = delete;
+
+  /// Start the daemon thread and receiver. Idempotent.
+  void start();
+
+  /// Next wire batch (epoch markers have last=true). nullopt = all epochs
+  /// served and drained.
+  std::optional<msgpack::WireBatch> next_batch();
+
+  /// Stop the service (joins the daemon thread).
+  void stop();
+
+  const Planner& planner() const { return *planner_; }
+  std::uint64_t dataset_samples() const { return planner_->dataset_size(); }
+  ServiceStats stats() const;
+  TimestampLogger& timestamps() { return timestamps_; }
+
+ private:
+  ServiceConfig config_;
+  TimestampLogger timestamps_;
+  std::unique_ptr<Planner> planner_;
+  std::vector<tfrecord::ShardIndex> indexes_;
+
+  std::unique_ptr<net::PullSocket> pull_;    // kTcp
+  std::shared_ptr<net::SimLinkControl> link_control_;  // kInProcess
+  std::unique_ptr<Daemon> daemon_;
+  std::unique_ptr<Receiver> receiver_;
+  std::thread daemon_thread_;
+  std::uint32_t epochs_done_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace emlio::core

@@ -1,0 +1,32 @@
+#include "energy/power_model.h"
+
+#include <algorithm>
+
+namespace emlio::energy {
+
+double PowerModel::watts(double utilization) const {
+  double u = std::clamp(utilization, 0.0, 1.0);
+  return idle_watts + (peak_watts - idle_watts) * u;
+}
+
+double PowerModel::joules(double utilization, double seconds) const {
+  return watts(utilization) * seconds;
+}
+
+namespace presets {
+
+// Idle/peak figures follow public RAPL/NVML measurements for these parts.
+// Calibration note: EMLIO's ImageNet epoch (156 s) reports ~10 kJ CPU →
+// ~64 W average package draw at moderate utilization, and ~26.2 kJ GPU →
+// ~168 W average on the RTX 6000; the presets bracket those operating points.
+
+PowerModel xeon_gold_6126_dual() { return {"cpu", 48.0, 250.0}; }
+PowerModel xeon_e5_2650v3_dual() { return {"cpu", 40.0, 210.0}; }
+PowerModel ddr4_192gib() { return {"dram", 4.0, 22.0}; }
+PowerModel ddr4_64gib() { return {"dram", 2.0, 10.0}; }
+PowerModel quadro_rtx_6000() { return {"gpu", 55.0, 260.0}; }
+PowerModel tesla_p100() { return {"gpu", 30.0, 250.0}; }
+
+}  // namespace presets
+
+}  // namespace emlio::energy

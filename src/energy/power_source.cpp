@@ -1,0 +1,50 @@
+#include "energy/power_source.h"
+
+namespace emlio::energy {
+
+SyntheticPowerSource::SyntheticPowerSource(std::string component, const Clock& clock,
+                                           double initial_watts)
+    : component_(std::move(component)),
+      clock_(&clock),
+      watts_(initial_watts),
+      last_ts_(clock.now()) {}
+
+void SyntheticPowerSource::accumulate_locked(Nanos now) {
+  pending_joules_ += watts_ * to_seconds(now - last_ts_);
+  last_ts_ = now;
+}
+
+double SyntheticPowerSource::read_joules() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  accumulate_locked(clock_->now());
+  double joules = pending_joules_;
+  pending_joules_ = 0.0;
+  return joules;
+}
+
+void SyntheticPowerSource::set_watts(double watts) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  accumulate_locked(clock_->now());
+  watts_ = watts;
+}
+
+double SyntheticPowerSource::watts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return watts_;
+}
+
+UtilizationPowerSource::UtilizationPowerSource(PowerModel model, const Clock& clock,
+                                               std::function<double()> utilization)
+    : model_(std::move(model)), clock_(&clock), utilization_(std::move(utilization)),
+      last_ts_(clock.now()) {}
+
+double UtilizationPowerSource::read_joules() {
+  Nanos now = clock_->now();
+  double dt = to_seconds(now - last_ts_);
+  last_ts_ = now;
+  // Utilization is sampled at read time — with the monitor's 100 ms interval
+  // this matches the paper's perf-stat-over-δ measurement granularity.
+  return model_.joules(utilization_(), dt);
+}
+
+}  // namespace emlio::energy

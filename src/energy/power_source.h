@@ -1,0 +1,76 @@
+// Power counter sources for the real-time EnergyMonitor.
+//
+// The paper reads CPU/DRAM energy from `perf stat` (RAPL) and GPU power from
+// NVML. Neither interface exists in this environment, so sources are
+// abstracted behind PowerSource: read() returns the Joules consumed since the
+// previous read (exactly the semantics of `perf stat ... sleep δ`). Tests and
+// examples plug in synthetic sources; a RAPL- or NVML-backed implementation
+// would slot in without touching the monitor.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "energy/power_model.h"
+
+namespace emlio::energy {
+
+/// An energy counter for one component.
+class PowerSource {
+ public:
+  virtual ~PowerSource() = default;
+
+  /// Component name used as the TSDB field prefix ("cpu", "memory", "gpu").
+  virtual const std::string& component() const = 0;
+
+  /// Joules consumed since the previous read() (first call: since creation).
+  virtual double read_joules() = 0;
+};
+
+/// Source with an externally settable instantaneous power level; energy is
+/// integrated against the supplied clock. Thread-safe.
+class SyntheticPowerSource final : public PowerSource {
+ public:
+  SyntheticPowerSource(std::string component, const Clock& clock, double initial_watts);
+
+  const std::string& component() const override { return component_; }
+  double read_joules() override;
+
+  /// Change the instantaneous draw (takes effect from "now").
+  void set_watts(double watts);
+  double watts() const;
+
+ private:
+  void accumulate_locked(Nanos now);
+
+  std::string component_;
+  const Clock* clock_;
+  mutable std::mutex mutex_;
+  double watts_;
+  Nanos last_ts_;
+  double pending_joules_ = 0.0;
+};
+
+/// Source that derives power from a utilization callback through a
+/// PowerModel — the bridge between workload components (which track their own
+/// busy fractions) and the monitor.
+class UtilizationPowerSource final : public PowerSource {
+ public:
+  UtilizationPowerSource(PowerModel model, const Clock& clock,
+                         std::function<double()> utilization);
+
+  const std::string& component() const override { return model_.component; }
+  double read_joules() override;
+
+ private:
+  PowerModel model_;
+  const Clock* clock_;
+  std::function<double()> utilization_;
+  Nanos last_ts_;
+};
+
+}  // namespace emlio::energy

@@ -1,0 +1,64 @@
+#include "energy/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace emlio::energy {
+
+double EnergyReport::cpu_joules() const {
+  double t = 0;
+  for (const auto& n : nodes) t += n.cpu_joules;
+  return t;
+}
+double EnergyReport::dram_joules() const {
+  double t = 0;
+  for (const auto& n : nodes) t += n.dram_joules;
+  return t;
+}
+double EnergyReport::gpu_joules() const {
+  double t = 0;
+  for (const auto& n : nodes) t += n.gpu_joules;
+  return t;
+}
+double EnergyReport::total_joules() const { return cpu_joules() + dram_joules() + gpu_joules(); }
+
+std::string EnergyReport::to_string() const {
+  std::ostringstream oss;
+  char buf[160];
+  for (const auto& n : nodes) {
+    std::snprintf(buf, sizeof buf, "  %-12s cpu=%10.1f J  dram=%8.1f J  gpu=%10.1f J  (%zu samples)",
+                  n.node_id.c_str(), n.cpu_joules, n.dram_joules, n.gpu_joules, n.samples);
+    oss << buf << '\n';
+  }
+  std::snprintf(buf, sizeof buf, "  %-12s cpu=%10.1f J  dram=%8.1f J  gpu=%10.1f J  total=%10.1f J",
+                "TOTAL", cpu_joules(), dram_joules(), gpu_joules(), total_joules());
+  oss << buf;
+  return oss.str();
+}
+
+EnergyReport make_report(const tsdb::Database& db, Nanos start, Nanos end,
+                         const std::string& measurement) {
+  EnergyReport report;
+  report.start = start;
+  report.end = end;
+  for (const auto& node : db.tag_values(measurement, "node_id")) {
+    tsdb::Query q;
+    q.measurement = measurement;
+    q.tag_filter["node_id"] = node;
+    q.start = start;
+    q.end = end;
+    NodeEnergy ne;
+    ne.node_id = node;
+    auto cpu = db.aggregate(q, "cpu_energy");
+    auto dram = db.aggregate(q, "memory_energy");
+    auto gpu = db.aggregate(q, "gpu_energy");
+    ne.cpu_joules = cpu.sum;
+    ne.dram_joules = dram.sum;
+    ne.gpu_joules = gpu.sum;
+    ne.samples = cpu.count;
+    report.nodes.push_back(std::move(ne));
+  }
+  return report;
+}
+
+}  // namespace emlio::energy

@@ -1,0 +1,50 @@
+// Energy report queries over the TSDB.
+//
+// The evaluation's per-figure numbers are "query our time-series database
+// for any known start and end timestamps and accurately aggregate each
+// node's energy consumption over that interval" (§3). EnergyReport does that
+// aggregation: per-node and fleet-wide CPU/DRAM/GPU Joules over a window,
+// plus the ideal-energy (idle) split the paper mentions in Figure 1.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "tsdb/tsdb.h"
+
+namespace emlio::energy {
+
+/// Aggregated Joules for one node over a window.
+struct NodeEnergy {
+  std::string node_id;
+  double cpu_joules = 0.0;
+  double dram_joules = 0.0;
+  double gpu_joules = 0.0;
+  std::size_t samples = 0;
+
+  double total() const { return cpu_joules + dram_joules + gpu_joules; }
+};
+
+/// Fleet-wide report between two timestamps.
+struct EnergyReport {
+  Nanos start = 0;
+  Nanos end = 0;
+  std::vector<NodeEnergy> nodes;
+
+  double cpu_joules() const;
+  double dram_joules() const;
+  double gpu_joules() const;
+  double total_joules() const;
+  double duration_seconds() const { return to_seconds(end - start); }
+
+  /// One row per node plus a total row, formatted for bench output.
+  std::string to_string() const;
+};
+
+/// Aggregate `measurement` over [start, end) for every node present.
+EnergyReport make_report(const tsdb::Database& db, Nanos start, Nanos end,
+                         const std::string& measurement = "energy");
+
+}  // namespace emlio::energy

@@ -1,0 +1,48 @@
+#include "eval/rig.h"
+
+#include <algorithm>
+
+namespace emlio::eval {
+
+NodeRig::NodeRig(sim::Engine& engine, sim::NodeSpec spec, std::string node_id)
+    : spec_(std::move(spec)),
+      id_(std::move(node_id)),
+      cpu_(engine, static_cast<double>(spec_.cpu_threads)),
+      gpu_(engine, 1.0) {}
+
+energy::NodeEnergy NodeRig::energy(Nanos t0, Nanos t1) const {
+  energy::NodeEnergy e;
+  e.node_id = id_;
+  double seconds = to_seconds(t1 - t0);
+  if (seconds <= 0) return e;
+
+  double cpu_util = cpu_.mean_utilization(t0, t1);
+  double gpu_util = gpu_.mean_utilization(t0, t1);
+  // DRAM activity proxy: dominated by CPU-side copies plus GPU DMA traffic.
+  double dram_util = std::min(1.0, 0.4 * cpu_util + 0.35 * gpu_util);
+
+  e.cpu_joules = spec_.cpu.joules(cpu_util, seconds);
+  e.dram_joules = spec_.dram.joules(dram_util, seconds);
+  e.gpu_joules = spec_.has_gpu() ? spec_.gpu.joules(gpu_util, seconds) : 0.0;
+  return e;
+}
+
+void NodeRig::record(tsdb::Database& db, Nanos t0, Nanos t1) const {
+  std::vector<tsdb::Point> points;
+  const Nanos step = from_millis(100);
+  for (Nanos t = t0; t < t1; t += step) {
+    Nanos end = std::min(t + step, t1);
+    auto slice = energy(t, end);
+    tsdb::Point p;
+    p.measurement = "energy";
+    p.tags["node_id"] = id_;
+    p.timestamp = t;
+    p.fields["cpu_energy"] = slice.cpu_joules;
+    p.fields["memory_energy"] = slice.dram_joules;
+    if (spec_.has_gpu()) p.fields["gpu_energy"] = slice.gpu_joules;
+    points.push_back(std::move(p));
+  }
+  db.write_points(std::move(points));
+}
+
+}  // namespace emlio::eval

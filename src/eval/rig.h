@@ -1,0 +1,50 @@
+// Simulated node rig: one testbed node's meters wired to its power models.
+//
+// Each modeled node (compute or storage) owns a CPU meter (capacity =
+// hardware threads), a GPU meter (capacity 1, fractional activity expresses
+// sub-peak power draw), and derives DRAM activity from CPU+GPU activity.
+// After a scenario run, energy() integrates the meters against the node's
+// PowerModels over the epoch window — same fields and tags as the real
+// EnergyMonitor writes, so reports and benches share one code path.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "energy/report.h"
+#include "sim/engine.h"
+#include "sim/meter.h"
+#include "sim/testbed.h"
+#include "tsdb/tsdb.h"
+
+namespace emlio::eval {
+
+class NodeRig {
+ public:
+  NodeRig(sim::Engine& engine, sim::NodeSpec spec, std::string node_id);
+
+  const sim::NodeSpec& spec() const noexcept { return spec_; }
+  const std::string& id() const noexcept { return id_; }
+
+  /// CPU meter in units of hardware threads (begin_work(3) = 3 threads busy).
+  sim::UtilizationMeter& cpu() { return cpu_; }
+  /// GPU meter; use fractional amounts for sub-peak power (a ResNet-50 step
+  /// runs begin_work(0.56) — 170 W of a 55..260 W band).
+  sim::UtilizationMeter& gpu() { return gpu_; }
+
+  /// Integrated Joules over [t0, t1): CPU + DRAM (40 % CPU activity +
+  /// 35 % GPU activity proxy) + GPU.
+  energy::NodeEnergy energy(Nanos t0, Nanos t1) const;
+
+  /// Emit 100 ms-sampled points into `db` (same schema as EnergyMonitor).
+  void record(tsdb::Database& db, Nanos t0, Nanos t1) const;
+
+ private:
+  sim::NodeSpec spec_;
+  std::string id_;
+  sim::UtilizationMeter cpu_;
+  sim::UtilizationMeter gpu_;
+};
+
+}  // namespace emlio::eval

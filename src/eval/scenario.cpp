@@ -1,0 +1,128 @@
+#include "eval/scenario.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace emlio::eval {
+
+ScenarioConfig centralized(LoaderKind loader, const workload::DatasetSpec& dataset,
+                           const train::ModelProfile& model, const sim::NetworkRegime& regime) {
+  ScenarioConfig cfg;
+  cfg.loader = loader;
+  cfg.dataset = dataset;
+  cfg.model = model;
+  cfg.regime = regime;
+  cfg.name = dataset.name + "/" + model.name + "/" + regime.name;
+  return cfg;
+}
+
+ScenarioConfig sharded(LoaderKind loader, const workload::DatasetSpec& dataset,
+                       const train::ModelProfile& model, const sim::NetworkRegime& regime) {
+  ScenarioConfig cfg = centralized(loader, dataset, model, regime);
+  cfg.sharded = true;
+  cfg.num_compute_nodes = 2;
+  cfg.ddp.nodes = 2;
+  // Peer-served NFS: the "storage server" is a busy training node, so DALI's
+  // remote half gets one effective stream with cold-cache metadata — the
+  // contention behind Figure 10's steep DALI degradation.
+  cfg.params.dali_prefetch_streams = 1;
+  cfg.params.dali_metadata_rtts = 1.8;
+  cfg.name += "/sharded";
+  return cfg;
+}
+
+FigureTable::FigureTable(std::string figure_id, std::string caption)
+    : id_(std::move(figure_id)), caption_(std::move(caption)) {}
+
+void FigureTable::add(FigureRow row) { rows_.push_back(std::move(row)); }
+
+namespace {
+std::string fmt(double v, const char* pattern = "%10.1f") {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, pattern, v);
+  return buf;
+}
+std::string ratio(double measured, std::optional<double> paper) {
+  if (!paper || *paper == 0.0) return "     -";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%6.2f", measured / *paper);
+  return buf;
+}
+}  // namespace
+
+std::string FigureTable::render() const {
+  std::ostringstream oss;
+  oss << "== " << id_ << ": " << caption_ << "\n";
+  oss << "   regime      method    duration_s  paper_s  ratio |  cpu_kJ  paper  |  dram_kJ |"
+         "  gpu_kJ  paper  | MB/s\n";
+  for (const auto& r : rows_) {
+    char line[320];
+    std::snprintf(line, sizeof line,
+                  "   %-11s %-9s %9.1f %8s %s | %7.1f %6s | %8.2f | %7.1f %6s | %6.0f",
+                  r.regime.c_str(), r.method.c_str(), r.result.duration_s,
+                  r.paper_duration_s ? fmt(*r.paper_duration_s, "%.1f").c_str() : "-",
+                  ratio(r.result.duration_s, r.paper_duration_s).c_str(),
+                  r.result.total.cpu_joules / 1e3,
+                  r.paper_cpu_j ? fmt(*r.paper_cpu_j / 1e3, "%.1f").c_str() : "-",
+                  r.result.total.dram_joules / 1e3, r.result.total.gpu_joules / 1e3,
+                  r.paper_gpu_j ? fmt(*r.paper_gpu_j / 1e3, "%.1f").c_str() : "-",
+                  r.result.io_throughput_mb_s);
+    oss << line << "\n";
+  }
+  double spread = emlio_duration_spread();
+  if (spread > 0) {
+    oss << "   EMLIO duration spread across regimes: " << fmt(spread * 100.0, "%.1f")
+        << "% (paper claims <=5%)\n";
+  }
+  return oss.str();
+}
+
+double FigureTable::emlio_duration_spread() const {
+  double lo = 0, hi = 0;
+  bool any = false;
+  for (const auto& r : rows_) {
+    if (r.method != "EMLIO") continue;
+    if (!any) {
+      lo = hi = r.result.duration_s;
+      any = true;
+    } else {
+      lo = std::min(lo, r.result.duration_s);
+      hi = std::max(hi, r.result.duration_s);
+    }
+  }
+  if (!any || lo == 0) return 0.0;
+  return (hi - lo) / lo;
+}
+
+json::Value FigureTable::to_json() const {
+  json::Object root;
+  root["figure"] = json::Value(id_);
+  root["caption"] = json::Value(caption_);
+  json::Array rows;
+  for (const auto& r : rows_) {
+    json::Object o;
+    o["regime"] = json::Value(r.regime);
+    o["method"] = json::Value(r.method);
+    o["duration_s"] = json::Value(r.result.duration_s);
+    o["cpu_j"] = json::Value(r.result.total.cpu_joules);
+    o["dram_j"] = json::Value(r.result.total.dram_joules);
+    o["gpu_j"] = json::Value(r.result.total.gpu_joules);
+    o["throughput_mb_s"] = json::Value(r.result.io_throughput_mb_s);
+    if (r.paper_duration_s) o["paper_duration_s"] = json::Value(*r.paper_duration_s);
+    if (r.paper_cpu_j) o["paper_cpu_j"] = json::Value(*r.paper_cpu_j);
+    if (r.paper_gpu_j) o["paper_gpu_j"] = json::Value(*r.paper_gpu_j);
+    rows.emplace_back(std::move(o));
+  }
+  root["rows"] = json::Value(std::move(rows));
+  return json::Value(std::move(root));
+}
+
+void append_results(const FigureTable& table, const std::string& path) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) return;  // results file is best-effort
+  out << table.to_json().dump() << "\n";
+}
+
+}  // namespace emlio::eval

@@ -1,0 +1,64 @@
+// Figure harness helpers: scenario construction for the paper's setups and
+// tabular output shared by every bench binary (paper value vs measured value
+// side by side, plus machine-readable JSON rows for EXPERIMENTS.md).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "eval/loader_models.h"
+#include "json/json.h"
+
+namespace emlio::eval {
+
+/// Scenario 1 (centralized repository) config for a loader × regime cell.
+ScenarioConfig centralized(LoaderKind loader, const workload::DatasetSpec& dataset,
+                           const train::ModelProfile& model, const sim::NetworkRegime& regime);
+
+/// Scenario 2 (sharded local+remote, 2 compute nodes with DDP).
+ScenarioConfig sharded(LoaderKind loader, const workload::DatasetSpec& dataset,
+                       const train::ModelProfile& model, const sim::NetworkRegime& regime);
+
+/// One row of a reproduced figure.
+struct FigureRow {
+  std::string regime;
+  std::string method;
+  ScenarioResult result;
+  /// Paper-reported values where the text gives them (seconds / Joules).
+  std::optional<double> paper_duration_s;
+  std::optional<double> paper_cpu_j;
+  std::optional<double> paper_dram_j;
+  std::optional<double> paper_gpu_j;
+};
+
+/// Collects rows for one figure and renders the comparison table.
+class FigureTable {
+ public:
+  FigureTable(std::string figure_id, std::string caption);
+
+  void add(FigureRow row);
+
+  /// Human table: one line per (regime, method) with measured and paper
+  /// numbers plus the measured/paper ratio.
+  std::string render() const;
+
+  /// JSON rows (appended to experiments output files).
+  json::Value to_json() const;
+
+  const std::vector<FigureRow>& rows() const { return rows_; }
+
+  /// Largest relative spread of EMLIO durations across regimes — the paper's
+  /// "±5 % from sub-millisecond LANs to 30 ms WANs" claim.
+  double emlio_duration_spread() const;
+
+ private:
+  std::string id_;
+  std::string caption_;
+  std::vector<FigureRow> rows_;
+};
+
+/// Append a figure's JSON to `path` (one JSON document per line).
+void append_results(const FigureTable& table, const std::string& path);
+
+}  // namespace emlio::eval

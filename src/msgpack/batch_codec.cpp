@@ -1,0 +1,94 @@
+#include "msgpack/batch_codec.h"
+
+#include <stdexcept>
+
+#include "msgpack/msgpack.h"
+
+namespace emlio::msgpack {
+
+namespace {
+constexpr std::uint64_t kWireVersion = 1;
+}
+
+std::size_t WireBatch::payload_bytes() const {
+  std::size_t total = 0;
+  for (const auto& s : samples) total += s.bytes.size();
+  return total;
+}
+
+std::size_t BatchCodec::encode(const WireBatch& batch, ByteBuffer& out) {
+  std::size_t start = out.size();
+  Encoder enc(out);
+  enc.pack_map_header(8);
+  // Keys are emitted in sorted order to match Map-based decoding of other
+  // msgpack implementations that normalize maps.
+  enc.pack_string("batch");
+  enc.pack_uint(batch.batch_id);
+  enc.pack_string("epoch");
+  enc.pack_uint(batch.epoch);
+  enc.pack_string("last");
+  enc.pack_bool(batch.last);
+  enc.pack_string("node");
+  enc.pack_uint(batch.node_id);
+  enc.pack_string("nsent");
+  enc.pack_uint(batch.sent_count);
+  enc.pack_string("samples");
+  enc.pack_array_header(batch.samples.size());
+  for (const auto& s : batch.samples) {
+    enc.pack_array_header(3);
+    enc.pack_uint(s.index);
+    enc.pack_int(s.label);
+    enc.pack_bin(s.bytes);
+  }
+  enc.pack_string("shard");
+  enc.pack_uint(batch.shard_id);
+  enc.pack_string("v");
+  enc.pack_uint(kWireVersion);
+  return out.size() - start;
+}
+
+std::vector<std::uint8_t> BatchCodec::encode(const WireBatch& batch) {
+  ByteBuffer buf(batch.payload_bytes() + 64 * batch.samples.size() + 128);
+  encode(batch, buf);
+  return buf.take();
+}
+
+WireBatch BatchCodec::decode(std::span<const std::uint8_t> bytes) {
+  Value root = msgpack::decode(bytes);
+  if (!root.is_map()) throw std::runtime_error("batch codec: payload is not a map");
+  if (root.at("v").as_uint() != kWireVersion) {
+    throw std::runtime_error("batch codec: unsupported wire version " +
+                             std::to_string(root.at("v").as_uint()));
+  }
+  WireBatch batch;
+  batch.epoch = static_cast<std::uint32_t>(root.at("epoch").as_uint());
+  batch.batch_id = root.at("batch").as_uint();
+  batch.node_id = static_cast<std::uint32_t>(root.at("node").as_uint());
+  batch.shard_id = static_cast<std::uint32_t>(root.at("shard").as_uint());
+  batch.last = root.at("last").as_bool();
+  batch.sent_count = root.at("nsent").as_uint();
+  const auto& samples = root.at("samples").as_array();
+  batch.samples.reserve(samples.size());
+  for (const auto& s : samples) {
+    const auto& tuple = s.as_array();
+    if (tuple.size() != 3) throw std::runtime_error("batch codec: sample tuple arity != 3");
+    WireSample ws;
+    ws.index = tuple[0].as_uint();
+    ws.label = tuple[1].as_int();
+    ws.bytes = tuple[2].as_bin();
+    batch.samples.push_back(std::move(ws));
+  }
+  return batch;
+}
+
+WireBatch BatchCodec::make_sentinel(std::uint32_t node_id, std::uint32_t epoch,
+                                    std::uint64_t sent_count) {
+  WireBatch b;
+  b.node_id = node_id;
+  b.epoch = epoch;
+  b.last = true;
+  b.sent_count = sent_count;
+  return b;
+}
+
+}  // namespace emlio::msgpack

@@ -1,0 +1,79 @@
+// Batch wire format.
+//
+// The EMLIO daemon serializes groups of B examples into a single msgpack
+// payload (§4.1); this codec defines that payload's schema:
+//
+//   map {
+//     "v":       1                 — wire version
+//     "epoch":   uint              — epoch index
+//     "batch":   uint              — global batch id within the epoch
+//     "node":    uint              — destination compute-node id
+//     "shard":   uint              — source shard id
+//     "last":    bool              — true on the sentinel end-of-epoch batch
+//     "nsent":   uint              — sentinel only: batches this sender
+//                                    shipped for (node, epoch)
+//     "samples": [ [index, label, bin-bytes], ... ]
+//   }
+//
+// The sentinel batch carries zero samples, last=true and the sender's batch
+// count. Multi-stream PUSH sockets do not order messages across streams, so
+// a sentinel can overtake in-flight data batches; the receiver therefore
+// declares an epoch complete only when every sender's sentinel has arrived
+// AND the summed nsent batches have all been delivered.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace emlio::msgpack {
+
+/// One training example on the wire: raw encoded bytes plus label and the
+/// dataset-global sample index (for data-parallel bookkeeping).
+struct WireSample {
+  std::uint64_t index = 0;
+  std::int64_t label = 0;
+  std::vector<std::uint8_t> bytes;
+
+  bool operator==(const WireSample&) const = default;
+};
+
+/// A pre-batched payload: everything a compute node needs to run one
+/// training step, assembled storage-side.
+struct WireBatch {
+  std::uint32_t epoch = 0;
+  std::uint64_t batch_id = 0;
+  std::uint32_t node_id = 0;
+  std::uint32_t shard_id = 0;
+  bool last = false;
+  std::uint64_t sent_count = 0;  ///< sentinel only: sender's batch count
+  std::vector<WireSample> samples;
+
+  /// Total payload bytes across samples.
+  std::size_t payload_bytes() const;
+
+  bool operator==(const WireBatch&) const = default;
+};
+
+/// Encoder/decoder for WireBatch <-> msgpack bytes.
+class BatchCodec {
+ public:
+  /// Serialize a batch into `out` (appended). Returns encoded size in bytes.
+  static std::size_t encode(const WireBatch& batch, ByteBuffer& out);
+
+  /// Convenience: serialize into a fresh vector.
+  static std::vector<std::uint8_t> encode(const WireBatch& batch);
+
+  /// Parse a batch. Throws std::runtime_error on schema violations and
+  /// std::out_of_range on truncated input.
+  static WireBatch decode(std::span<const std::uint8_t> bytes);
+
+  /// Build the end-of-epoch sentinel for (node, epoch); `sent_count` is the
+  /// number of data batches this sender shipped to that node this epoch.
+  static WireBatch make_sentinel(std::uint32_t node_id, std::uint32_t epoch,
+                                 std::uint64_t sent_count = 0);
+};
+
+}  // namespace emlio::msgpack

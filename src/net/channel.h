@@ -1,0 +1,43 @@
+// Transport-neutral message channel interfaces.
+//
+// The daemon pushes serialized batches through a MessageSink; the receiver
+// drains a MessageSource. Two transports implement these: real framed TCP
+// (net/push_pull.h) and an in-process simulated link with injected RTT and
+// bandwidth (net/sim_channel.h). The EMLIO core is written against these
+// interfaces so the exact same daemon/receiver code runs over loopback TCP
+// in production and over the latency-injected channel in tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace emlio::net {
+
+/// Blocking message producer endpoint (PUSH side).
+class MessageSink {
+ public:
+  virtual ~MessageSink() = default;
+
+  /// Send one message. Blocks while the transport is above its high-water
+  /// mark (backpressure). Returns false if the channel is closed.
+  virtual bool send(std::vector<std::uint8_t> message) = 0;
+
+  /// Flush and close. Further sends fail. Idempotent.
+  virtual void close() = 0;
+};
+
+/// Blocking message consumer endpoint (PULL side).
+class MessageSource {
+ public:
+  virtual ~MessageSource() = default;
+
+  /// Receive the next message; empty optional when the channel is closed and
+  /// drained.
+  virtual std::optional<std::vector<std::uint8_t>> recv() = 0;
+
+  /// Stop receiving and release resources. Idempotent.
+  virtual void close() = 0;
+};
+
+}  // namespace emlio::net

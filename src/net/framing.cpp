@@ -1,0 +1,37 @@
+#include "net/framing.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace emlio::net {
+
+void send_frame(TcpStream& stream, std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw std::runtime_error("framing: payload exceeds 1 GiB cap");
+  }
+  std::uint8_t header[8];
+  std::uint32_t magic = kFrameMagic;
+  auto length = static_cast<std::uint32_t>(payload.size());
+  std::memcpy(header, &magic, 4);
+  std::memcpy(header + 4, &length, 4);
+  stream.send_all(std::span<const std::uint8_t>(header, 8));
+  stream.send_all(payload);
+}
+
+std::optional<std::vector<std::uint8_t>> recv_frame(TcpStream& stream) {
+  std::uint8_t header[8];
+  if (!stream.recv_all(std::span<std::uint8_t>(header, 8))) return std::nullopt;
+  std::uint32_t magic = 0;
+  std::uint32_t length = 0;
+  std::memcpy(&magic, header, 4);
+  std::memcpy(&length, header + 4, 4);
+  if (magic != kFrameMagic) throw std::runtime_error("framing: bad magic");
+  if (length > kMaxFrameBytes) throw std::runtime_error("framing: oversized frame");
+  std::vector<std::uint8_t> payload(length);
+  if (length > 0 && !stream.recv_all(payload)) {
+    throw std::runtime_error("framing: EOF before payload");
+  }
+  return payload;
+}
+
+}  // namespace emlio::net

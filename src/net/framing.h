@@ -1,0 +1,29 @@
+// Length-prefixed message framing over a TcpStream.
+//
+//   uint32  magic  (0x454D4C31, "EML1") — catches protocol mismatches
+//   uint32  length (little-endian)
+//   byte    payload[length]
+//
+// One framed message carries one msgpack-serialized batch; the 1 GiB size
+// cap rejects corrupt lengths before allocation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/socket.h"
+
+namespace emlio::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x454D4C31;  // "EML1"
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 30;  // 1 GiB sanity cap
+
+/// Write one framed message. Throws on socket errors.
+void send_frame(TcpStream& stream, std::span<const std::uint8_t> payload);
+
+/// Read one framed message; empty optional on clean EOF.
+/// Throws std::runtime_error on bad magic, oversized frame, or socket error.
+std::optional<std::vector<std::uint8_t>> recv_frame(TcpStream& stream);
+
+}  // namespace emlio::net

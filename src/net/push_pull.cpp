@@ -1,0 +1,110 @@
+#include "net/push_pull.h"
+
+#include "common/log.h"
+#include "net/framing.h"
+
+namespace emlio::net {
+
+PushSocket::PushSocket(const std::string& host, std::uint16_t port, PushPullOptions options) {
+  std::size_t n = options.num_streams ? options.num_streams : 1;
+  streams_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Stream s;
+    s.tcp = TcpStream::connect(host, port);
+    s.queue =
+        std::make_unique<BoundedQueue<std::vector<std::uint8_t>>>(options.high_water_mark);
+    streams_.push_back(std::move(s));
+  }
+  // Start senders only after every connect succeeded, so a failed constructor
+  // leaves no running threads.
+  for (auto& s : streams_) {
+    s.sender = std::thread([this, &s] { sender_loop(s); });
+  }
+}
+
+PushSocket::~PushSocket() { close(); }
+
+bool PushSocket::send(std::vector<std::uint8_t> message) {
+  if (closed_.load(std::memory_order_acquire)) return false;
+  std::size_t idx = next_stream_.fetch_add(1, std::memory_order_relaxed) % streams_.size();
+  if (!streams_[idx].queue->push(std::move(message))) return false;
+  sent_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void PushSocket::close() {
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+  for (auto& s : streams_) s.queue->close();
+  for (auto& s : streams_) {
+    if (s.sender.joinable()) s.sender.join();
+    s.tcp.shutdown_send();
+  }
+}
+
+void PushSocket::sender_loop(Stream& stream) {
+  for (;;) {
+    auto msg = stream.queue->pop();
+    if (!msg) return;  // closed and drained
+    try {
+      send_frame(stream.tcp, *msg);
+    } catch (const std::exception& e) {
+      log::error("push sender: ", e.what());
+      stream.queue->close();
+      return;
+    }
+  }
+}
+
+PullSocket::PullSocket(std::uint16_t port, std::size_t queue_capacity)
+    : listener_(port), queue_(queue_capacity) {
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+PullSocket::~PullSocket() { close(); }
+
+std::optional<std::vector<std::uint8_t>> PullSocket::recv() {
+  auto msg = queue_.pop();
+  if (msg) received_.fetch_add(1, std::memory_order_relaxed);
+  return msg;
+}
+
+void PullSocket::close() {
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+  listener_.close();
+  queue_.close();
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(readers_mutex_);
+    readers.swap(readers_);
+  }
+  for (auto& r : readers) {
+    if (r.joinable()) r.join();
+  }
+}
+
+void PullSocket::accept_loop() {
+  for (;;) {
+    auto stream = listener_.accept();
+    if (!stream) return;  // listener closed
+    std::lock_guard<std::mutex> lock(readers_mutex_);
+    if (closed_.load(std::memory_order_acquire)) return;
+    readers_.emplace_back([this, s = std::move(*stream)]() mutable { reader_loop(std::move(s)); });
+  }
+}
+
+void PullSocket::reader_loop(TcpStream stream) {
+  try {
+    for (;;) {
+      auto frame = recv_frame(stream);
+      if (!frame) return;  // peer finished
+      if (!queue_.push(std::move(*frame))) return;  // socket closed locally
+    }
+  } catch (const std::exception& e) {
+    if (!closed_.load(std::memory_order_acquire)) {
+      log::error("pull reader: ", e.what());
+    }
+  }
+}
+
+}  // namespace emlio::net

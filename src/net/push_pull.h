@@ -1,0 +1,98 @@
+// ZeroMQ-style PUSH/PULL sockets over framed TCP.
+//
+// Reproduces the transport semantics EMLIO needs from ZMQ (§4.5):
+//   * PUSH fan-out over multiple parallel TCP streams,
+//   * a per-stream high-water mark (default 16) with *blocking* send, so
+//     "storage-side workers naturally back off when compute-side queues are
+//     full",
+//   * PULL fair-merges all inbound connections into one shared queue.
+//
+// Unlike ZMQ, streams connect eagerly in the constructor and failures throw
+// rather than retry silently — the Planner owns endpoint liveness.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "net/channel.h"
+#include "net/socket.h"
+
+namespace emlio::net {
+
+/// Configuration shared by both ends.
+struct PushPullOptions {
+  std::size_t high_water_mark = 16;  ///< per-stream queued-message cap (ZMQ HWM)
+  std::size_t num_streams = 1;       ///< parallel TCP connections per PUSH socket
+};
+
+/// PUSH end: connects `num_streams` TCP streams to a PULL endpoint and
+/// round-robins messages across them. send() blocks when the selected
+/// stream's queue is at the HWM (infinite-blocking semantics, §4.5).
+class PushSocket final : public MessageSink {
+ public:
+  PushSocket(const std::string& host, std::uint16_t port, PushPullOptions options = {});
+  ~PushSocket() override;
+
+  bool send(std::vector<std::uint8_t> message) override;
+
+  /// Drain queues, flush streams, close connections, join sender threads.
+  void close() override;
+
+  std::size_t messages_sent() const noexcept { return sent_.load(std::memory_order_relaxed); }
+  std::size_t num_streams() const noexcept { return streams_.size(); }
+
+ private:
+  struct Stream {
+    TcpStream tcp;
+    std::unique_ptr<BoundedQueue<std::vector<std::uint8_t>>> queue;
+    std::thread sender;
+  };
+  void sender_loop(Stream& stream);
+
+  std::vector<Stream> streams_;
+  std::atomic<std::size_t> next_stream_{0};
+  std::atomic<std::size_t> sent_{0};
+  std::atomic<bool> closed_{false};
+};
+
+/// PULL end: accepts any number of PUSH connections and merges their framed
+/// messages into one bounded shared queue. Receiver-side backpressure: when
+/// the shared queue is full the per-connection reader blocks, the kernel TCP
+/// window fills, and the remote PUSH send() stalls.
+class PullSocket final : public MessageSource {
+ public:
+  /// Bind on loopback:port (0 = ephemeral). `queue_capacity` is the shared
+  /// in-memory queue depth (the receiver's HWM).
+  explicit PullSocket(std::uint16_t port, std::size_t queue_capacity = 64);
+  ~PullSocket() override;
+
+  std::optional<std::vector<std::uint8_t>> recv() override;
+
+  void close() override;
+
+  /// The bound port (for connecting PUSH sockets).
+  std::uint16_t port() const noexcept { return listener_.port(); }
+
+  std::size_t messages_received() const noexcept {
+    return received_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void reader_loop(TcpStream stream);
+
+  TcpListener listener_;
+  BoundedQueue<std::vector<std::uint8_t>> queue_;
+  std::thread acceptor_;
+  std::mutex readers_mutex_;
+  std::vector<std::thread> readers_;
+  std::atomic<std::size_t> received_{0};
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace emlio::net

@@ -1,0 +1,50 @@
+// In-process simulated link implementing MessageSink/MessageSource.
+//
+// Stand-in for the paper's tc/qdisc network emulation: messages become
+// visible to the receiver only after one-way latency (RTT/2) plus
+// serialization time (bytes / bandwidth), with optional Gaussian jitter and
+// injectable latency spikes. The link enforces the same HWM blocking-send
+// semantics as the TCP transport, so the EMLIO daemon behaves identically
+// over both. Time here is *real* (the channel sleeps), so tests use
+// millisecond-scale latencies; the discrete-event simulator in src/sim
+// handles the paper-scale 10–30 ms RTT experiments in virtual time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/clock.h"
+#include "net/channel.h"
+
+namespace emlio::net {
+
+struct SimLinkConfig {
+  double rtt_ms = 0.0;                     ///< round-trip time; one-way = rtt/2
+  double bandwidth_bytes_per_sec = 1.25e9; ///< 10 Gbps default
+  std::size_t high_water_mark = 16;        ///< in-flight message cap (HWM)
+  double jitter_stddev_ms = 0.0;           ///< Gaussian jitter on one-way latency
+  std::uint64_t seed = 42;                 ///< jitter RNG seed
+};
+
+/// Handle for fault injection while a channel is live.
+class SimLinkControl {
+ public:
+  virtual ~SimLinkControl() = default;
+  /// Add a fixed latency penalty to every message sent from now on
+  /// (models a congestion episode). Additive with config latency.
+  virtual void set_extra_latency_ms(double ms) = 0;
+  /// Total bytes that have entered the link.
+  virtual std::uint64_t bytes_sent() const = 0;
+};
+
+struct SimChannel {
+  std::unique_ptr<MessageSink> sink;
+  std::unique_ptr<MessageSource> source;
+  std::shared_ptr<SimLinkControl> control;
+};
+
+/// Create a connected simulated channel.
+SimChannel make_sim_channel(const SimLinkConfig& config);
+
+}  // namespace emlio::net

@@ -1,0 +1,137 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace emlio::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace
+
+Fd::~Fd() { reset(); }
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Fd::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpStream::TcpStream(Fd fd) : fd_(std::move(fd)) {
+  if (fd_.valid()) set_nodelay(fd_.get());
+}
+
+TcpStream TcpStream::connect(const std::string& host, std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("connect: invalid IPv4 address " + host);
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    throw_errno("connect to " + host + ":" + std::to_string(port));
+  }
+  return TcpStream(std::move(fd));
+}
+
+void TcpStream::send_all(std::span<const std::uint8_t> bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::send(fd_.get(), bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool TcpStream::recv_all(std::span<std::uint8_t> bytes) {
+  std::size_t got = 0;
+  while (got < bytes.size()) {
+    ssize_t n = ::recv(fd_.get(), bytes.data() + got, bytes.size() - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean EOF between messages
+      throw std::runtime_error("recv: connection closed mid-message (" + std::to_string(got) +
+                               "/" + std::to_string(bytes.size()) + " bytes)");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void TcpStream::shutdown_send() noexcept {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_WR);
+}
+
+TcpListener::TcpListener(std::uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket");
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    throw_errno("bind to port " + std::to_string(port));
+  }
+  if (::listen(fd.get(), backlog) != 0) throw_errno("listen");
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  fd_ = std::move(fd);
+}
+
+std::optional<TcpStream> TcpListener::accept() {
+  if (!fd_.valid()) return std::nullopt;
+  int fd = ::accept(fd_.get(), nullptr, nullptr);
+  if (fd < 0) {
+    // EBADF / EINVAL after close() is the normal shutdown path.
+    return std::nullopt;
+  }
+  return TcpStream(Fd(fd));
+}
+
+void TcpListener::close() noexcept {
+  if (fd_.valid()) {
+    ::shutdown(fd_.get(), SHUT_RDWR);  // wakes blocked accept on some kernels
+    fd_.reset();
+  }
+}
+
+}  // namespace emlio::net

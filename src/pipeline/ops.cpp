@@ -1,0 +1,113 @@
+#include "pipeline/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "workload/sample_generator.h"
+
+namespace emlio::pipeline {
+
+Decoded decode(std::span<const std::uint8_t> encoded, std::int64_t label, std::uint32_t out_height,
+               std::uint32_t out_width) {
+  Decoded out;
+  out.label = label;
+  out.checksum_ok = workload::SampleGenerator::validate(encoded.data(), encoded.size());
+  if (encoded.size() >= workload::SampleLayout::kMinSampleBytes) {
+    out.sample_index = workload::SampleGenerator::embedded_index(encoded.data(), encoded.size());
+  }
+  out.image = Tensor::zeros(out_height, out_width, 3);
+
+  // Deterministic "pixels": stride the encoded body so different bytes land
+  // in different pixels; decode work is O(pixels), as a thumbnail decode is.
+  std::size_t body = workload::SampleLayout::kHeaderBytes;
+  if (encoded.size() <= body) return out;  // undecodable: black image
+  std::size_t n = encoded.size() - body;
+  for (std::uint32_t y = 0; y < out_height; ++y) {
+    for (std::uint32_t x = 0; x < out_width; ++x) {
+      for (std::uint32_t c = 0; c < 3; ++c) {
+        std::size_t k =
+            ((static_cast<std::size_t>(y) * out_width + x) * 3 + c) * 1315423911u % n;
+        out.image.at(y, x, c) = static_cast<float>(encoded[body + k]);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor resize(const Tensor& in, std::uint32_t h, std::uint32_t w) {
+  if (in.height == 0 || in.width == 0) throw std::invalid_argument("resize: empty input");
+  Tensor out = Tensor::zeros(h, w, in.channels);
+  for (std::uint32_t y = 0; y < h; ++y) {
+    // Map output pixel centers back into input space (align-corners=false).
+    float sy = (static_cast<float>(y) + 0.5f) * static_cast<float>(in.height) /
+                   static_cast<float>(h) -
+               0.5f;
+    sy = std::clamp(sy, 0.0f, static_cast<float>(in.height - 1));
+    auto y0 = static_cast<std::uint32_t>(sy);
+    std::uint32_t y1 = std::min(y0 + 1, in.height - 1);
+    float fy = sy - static_cast<float>(y0);
+    for (std::uint32_t x = 0; x < w; ++x) {
+      float sx = (static_cast<float>(x) + 0.5f) * static_cast<float>(in.width) /
+                     static_cast<float>(w) -
+                 0.5f;
+      sx = std::clamp(sx, 0.0f, static_cast<float>(in.width - 1));
+      auto x0 = static_cast<std::uint32_t>(sx);
+      std::uint32_t x1 = std::min(x0 + 1, in.width - 1);
+      float fx = sx - static_cast<float>(x0);
+      for (std::uint32_t c = 0; c < in.channels; ++c) {
+        float top = in.at(y0, x0, c) * (1 - fx) + in.at(y0, x1, c) * fx;
+        float bot = in.at(y1, x0, c) * (1 - fx) + in.at(y1, x1, c) * fx;
+        out.at(y, x, c) = top * (1 - fy) + bot * fy;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor crop(const Tensor& in, std::uint32_t y0, std::uint32_t x0, std::uint32_t h,
+            std::uint32_t w) {
+  if (y0 + h > in.height || x0 + w > in.width) {
+    throw std::out_of_range("crop: rectangle exceeds image bounds");
+  }
+  Tensor out = Tensor::zeros(h, w, in.channels);
+  for (std::uint32_t y = 0; y < h; ++y) {
+    for (std::uint32_t x = 0; x < w; ++x) {
+      for (std::uint32_t c = 0; c < in.channels; ++c) {
+        out.at(y, x, c) = in.at(y0 + y, x0 + x, c);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor mirror(const Tensor& in, bool flip) {
+  if (!flip) return in;
+  Tensor out = Tensor::zeros(in.height, in.width, in.channels);
+  for (std::uint32_t y = 0; y < in.height; ++y) {
+    for (std::uint32_t x = 0; x < in.width; ++x) {
+      for (std::uint32_t c = 0; c < in.channels; ++c) {
+        out.at(y, x, c) = in.at(y, in.width - 1 - x, c);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor normalize(const Tensor& in, std::span<const float> mean, std::span<const float> stddev) {
+  if (mean.size() != in.channels || stddev.size() != in.channels) {
+    throw std::invalid_argument("normalize: mean/std size must equal channel count");
+  }
+  Tensor out = in;
+  for (std::uint32_t y = 0; y < in.height; ++y) {
+    for (std::uint32_t x = 0; x < in.width; ++x) {
+      for (std::uint32_t c = 0; c < in.channels; ++c) {
+        float s = stddev[c] != 0.0f ? stddev[c] : 1.0f;
+        out.at(y, x, c) = (in.at(y, x, c) - mean[c]) / s;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace emlio::pipeline

@@ -1,0 +1,106 @@
+#include "sim/meter.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/engine.h"
+
+namespace emlio::sim {
+
+UtilizationMeter::UtilizationMeter(const Engine& engine, double capacity)
+    : engine_(&engine), capacity_(capacity > 0 ? capacity : 1.0) {
+  log_.push_back({0, 0.0});
+}
+
+void UtilizationMeter::accumulate() {
+  Nanos now = engine_->now();
+  double norm = std::min(active_, capacity_) / capacity_;
+  busy_integral_ += norm * to_seconds(now - last_change_);
+  last_change_ = now;
+}
+
+void UtilizationMeter::begin_work(double amount) {
+  accumulate();
+  active_ += amount;
+  log_.push_back({last_change_, active_});
+}
+
+void UtilizationMeter::end_work(double amount) {
+  accumulate();
+  active_ -= amount;
+  if (active_ < -1e-9) throw std::logic_error("UtilizationMeter: negative active count");
+  if (active_ < 0) active_ = 0;
+  log_.push_back({last_change_, active_});
+}
+
+double UtilizationMeter::busy_seconds() const {
+  double norm = std::min(active_, capacity_) / capacity_;
+  return busy_integral_ + norm * to_seconds(engine_->now() - last_change_);
+}
+
+double UtilizationMeter::utilization_since(Nanos since) const {
+  Nanos now = engine_->now();
+  if (now <= since) return 0.0;
+  return mean_utilization(since, now);
+}
+
+double UtilizationMeter::utilization_at(Nanos t) const {
+  // Last change point at or before t (log is time-ordered).
+  auto it = std::upper_bound(log_.begin(), log_.end(), t,
+                             [](Nanos ts, const ChangePoint& c) { return ts < c.time; });
+  if (it == log_.begin()) return 0.0;
+  --it;
+  return std::min(it->active, capacity_) / capacity_;
+}
+
+double UtilizationMeter::mean_utilization(Nanos t0, Nanos t1) const {
+  if (t1 <= t0) return 0.0;
+  // Walk change points overlapping [t0, t1).
+  double integral = 0.0;  // nanosecond-weighted normalized utilization
+  auto it = std::upper_bound(log_.begin(), log_.end(), t0,
+                             [](Nanos ts, const ChangePoint& c) { return ts < c.time; });
+  double level = 0.0;
+  if (it != log_.begin()) level = std::prev(it)->active;
+  Nanos cursor = t0;
+  for (; it != log_.end() && it->time < t1; ++it) {
+    integral += std::min(level, capacity_) / capacity_ * static_cast<double>(it->time - cursor);
+    cursor = it->time;
+    level = it->active;
+  }
+  integral += std::min(level, capacity_) / capacity_ * static_cast<double>(t1 - cursor);
+  return integral / static_cast<double>(t1 - t0);
+}
+
+EnergyRecorder::EnergyRecorder(std::string node_id, Nanos interval)
+    : node_id_(std::move(node_id)), interval_(interval > 0 ? interval : from_millis(100)) {}
+
+void EnergyRecorder::add(energy::PowerModel model, const UtilizationMeter* meter,
+                         std::string field) {
+  components_.push_back(Component{std::move(model), meter, std::move(field)});
+}
+
+double EnergyRecorder::integrate(const energy::PowerModel& model, const UtilizationMeter* meter,
+                                 Nanos t0, Nanos t1) {
+  double seconds = to_seconds(t1 - t0);
+  if (seconds <= 0) return 0.0;
+  double util = meter ? meter->mean_utilization(t0, t1) : 0.0;
+  return model.joules(util, seconds);
+}
+
+void EnergyRecorder::record(tsdb::Database& db, Nanos t0, Nanos t1) const {
+  std::vector<tsdb::Point> points;
+  for (Nanos t = t0; t < t1; t += interval_) {
+    Nanos end = std::min(t + interval_, t1);
+    tsdb::Point p;
+    p.measurement = "energy";
+    p.tags["node_id"] = node_id_;
+    p.timestamp = t;
+    for (const auto& c : components_) {
+      p.fields[c.field] += integrate(c.model, c.meter, t, end);
+    }
+    points.push_back(std::move(p));
+  }
+  db.write_points(std::move(points));
+}
+
+}  // namespace emlio::sim

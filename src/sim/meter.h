@@ -1,0 +1,113 @@
+// Utilization metering and virtual-time energy accounting.
+//
+// Every modeled component (a node's CPU, its DRAM proxy, the GPU) owns a
+// UtilizationMeter. Workers call begin_work/end_work around busy intervals;
+// the meter integrates min(active, capacity)/capacity over virtual time and
+// keeps the change-point log. EnergyRecorder replays that log against a
+// PowerModel to produce the same 100 ms-granularity, node-tagged TSDB points
+// the real-time EnergyMonitor writes — so the report/figure code is shared
+// between real and simulated runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "energy/power_model.h"
+#include "tsdb/tsdb.h"
+
+namespace emlio::sim {
+
+class Engine;
+
+/// Tracks how many workers are concurrently busy on a component with
+/// `capacity` parallel execution slots (cores, copy engines, ...).
+class UtilizationMeter {
+ public:
+  UtilizationMeter(const Engine& engine, double capacity = 1.0);
+
+  /// A worker started using the component.
+  void begin_work(double amount = 1.0);
+  /// The worker finished.
+  void end_work(double amount = 1.0);
+
+  /// ∫ min(active, capacity)/capacity dt over [0, now], in seconds.
+  double busy_seconds() const;
+
+  /// Mean utilization over [since, now].
+  double utilization_since(Nanos since) const;
+
+  double active() const noexcept { return active_; }
+  double capacity() const noexcept { return capacity_; }
+
+  /// Change-point log: (time, active-level after the change).
+  struct ChangePoint {
+    Nanos time;
+    double active;
+  };
+  const std::vector<ChangePoint>& log() const noexcept { return log_; }
+
+  /// Utilization (0..1) at an arbitrary past time, from the log.
+  double utilization_at(Nanos t) const;
+
+  /// Mean utilization over [t0, t1) integrated from the log.
+  double mean_utilization(Nanos t0, Nanos t1) const;
+
+ private:
+  void accumulate();
+
+  const Engine* engine_;
+  double capacity_;
+  double active_ = 0.0;
+  Nanos last_change_ = 0;
+  double busy_integral_ = 0.0;  // seconds of (normalized) busy time
+  std::vector<ChangePoint> log_;
+};
+
+/// RAII busy interval.
+class ScopedWork {
+ public:
+  ScopedWork(UtilizationMeter& meter, double amount = 1.0) : meter_(&meter), amount_(amount) {
+    meter_->begin_work(amount_);
+  }
+  ~ScopedWork() { meter_->end_work(amount_); }
+  ScopedWork(const ScopedWork&) = delete;
+  ScopedWork& operator=(const ScopedWork&) = delete;
+
+ private:
+  UtilizationMeter* meter_;
+  double amount_;
+};
+
+/// Replays meters into 100 ms-sampled TSDB energy points after a simulation
+/// completes, mirroring the real monitor's output schema
+/// (measurement "energy", tag node_id, fields cpu_energy / memory_energy /
+/// gpu_energy in Joules per interval).
+class EnergyRecorder {
+ public:
+  struct Component {
+    energy::PowerModel model;
+    const UtilizationMeter* meter = nullptr;  ///< null = always idle
+    std::string field;                        ///< "cpu_energy", ...
+  };
+
+  EnergyRecorder(std::string node_id, Nanos interval = from_millis(100));
+
+  /// Attach a component. The meter may be null for an idle-only component.
+  void add(energy::PowerModel model, const UtilizationMeter* meter, std::string field);
+
+  /// Integrate [t0, t1) into `db` as one point per interval.
+  void record(tsdb::Database& db, Nanos t0, Nanos t1) const;
+
+  /// Directly integrate total Joules for one component over [t0, t1).
+  static double integrate(const energy::PowerModel& model, const UtilizationMeter* meter,
+                          Nanos t0, Nanos t1);
+
+ private:
+  std::string node_id_;
+  Nanos interval_;
+  std::vector<Component> components_;
+};
+
+}  // namespace emlio::sim

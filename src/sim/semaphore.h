@@ -1,0 +1,49 @@
+// Asynchronous counting semaphore for the simulator.
+//
+// Models every bounded buffer in the pipelines: the ZMQ high-water mark
+// (acquire before send, release when the receiver consumes), the receiver's
+// shared queue depth, and the DALI prefetch window. acquire() never blocks —
+// it queues the continuation until a slot frees, which is how backpressure
+// propagates through a callback-based DES.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+
+namespace emlio::sim {
+
+class AsyncSemaphore {
+ public:
+  explicit AsyncSemaphore(std::size_t slots) : available_(slots) {}
+
+  /// Run `granted` once a slot is available (immediately if one is free).
+  void acquire(std::function<void()> granted) {
+    if (available_ > 0) {
+      --available_;
+      granted();
+    } else {
+      waiters_.push_back(std::move(granted));
+    }
+  }
+
+  /// Return one slot; wakes the oldest waiter if any.
+  void release() {
+    if (!waiters_.empty()) {
+      auto next = std::move(waiters_.front());
+      waiters_.pop_front();
+      next();  // slot passes directly to the waiter
+    } else {
+      ++available_;
+    }
+  }
+
+  std::size_t available() const noexcept { return available_; }
+  std::size_t waiting() const noexcept { return waiters_.size(); }
+
+ private:
+  std::size_t available_;
+  std::deque<std::function<void()>> waiters_;
+};
+
+}  // namespace emlio::sim

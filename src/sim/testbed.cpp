@@ -1,0 +1,81 @@
+#include "sim/testbed.h"
+
+#include <sstream>
+
+namespace emlio::sim {
+
+namespace presets {
+
+NodeSpec uc_compute() {
+  NodeSpec n;
+  n.name = "uc_compute(gpu_rtx_6000)";
+  n.cpu = energy::presets::xeon_gold_6126_dual();
+  n.dram = energy::presets::ddr4_192gib();
+  n.gpu = energy::presets::quadro_rtx_6000();
+  n.cpu_threads = 48;
+  n.disk_bytes_per_sec = 500e6;  // 240 GiB SAS SSD
+  n.disk_latency = from_micros(80);
+  n.nic_bytes_per_sec = 1.25e9;  // 10 GbE
+  return n;
+}
+
+NodeSpec uc_storage() {
+  NodeSpec n = uc_compute();
+  n.name = "uc_storage(compute_skylake)";
+  n.gpu = {"gpu", 0.0, 0.0};
+  return n;
+}
+
+NodeSpec tacc_compute() {
+  NodeSpec n;
+  n.name = "tacc_compute(gpu_p100)";
+  n.cpu = energy::presets::xeon_e5_2650v3_dual();
+  n.dram = energy::presets::ddr4_64gib();
+  n.gpu = energy::presets::tesla_p100();
+  n.cpu_threads = 48;
+  n.disk_bytes_per_sec = 150e6;  // 1 TB SATA HDD
+  n.disk_latency = from_millis(4);
+  n.nic_bytes_per_sec = 1.25e9;
+  return n;
+}
+
+NodeSpec tacc_storage() {
+  NodeSpec n;
+  n.name = "tacc_storage";
+  n.cpu = energy::presets::xeon_e5_2650v3_dual();
+  n.dram = energy::presets::ddr4_64gib();
+  n.gpu = {"gpu", 0.0, 0.0};
+  n.cpu_threads = 40;
+  n.disk_bytes_per_sec = 450e6;  // 400 GiB SATA SSD
+  n.disk_latency = from_micros(100);
+  n.nic_bytes_per_sec = 1.25e9;
+  return n;
+}
+
+NetworkRegime local_disk() { return {"local", 0.05, true}; }
+NetworkRegime lan_01ms() { return {"lan_0.1ms", 0.1, false}; }
+NetworkRegime lan_1ms() { return {"lan_1ms", 1.0, false}; }
+NetworkRegime lan_10ms() { return {"lan_10ms", 10.0, false}; }
+NetworkRegime wan_30ms() { return {"wan_30ms", 30.0, false}; }
+
+std::vector<NetworkRegime> fig5_regimes() {
+  return {local_disk(), lan_01ms(), lan_10ms(), wan_30ms()};
+}
+
+}  // namespace presets
+
+std::string describe(const NodeSpec& node) {
+  std::ostringstream oss;
+  oss << node.name << ": cpu[" << node.cpu.idle_watts << ".." << node.cpu.peak_watts << "W x"
+      << node.cpu_threads << "t]";
+  if (node.has_gpu()) {
+    oss << " gpu[" << node.gpu.idle_watts << ".." << node.gpu.peak_watts << "W]";
+  } else {
+    oss << " gpu[none]";
+  }
+  oss << " disk[" << node.disk_bytes_per_sec / 1e6 << "MB/s]"
+      << " nic[" << node.nic_bytes_per_sec * 8 / 1e9 << "Gbps]";
+  return oss.str();
+}
+
+}  // namespace emlio::sim

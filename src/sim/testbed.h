@@ -1,0 +1,66 @@
+// Testbed hardware presets — Table 1 of the paper, as model parameters.
+//
+// Two Chameleon clusters: UC (compute gpu_rtx_6000 + storage
+// compute_skylake) and TACC (compute gpu_p100 + storage). All nodes have
+// 10 GbE NICs; storage is SAS/SATA SSD except the TACC compute HDD. Network
+// regimes mirror §5.1: local disk, LAN 0.1 ms, emulated 1/10/30 ms, and the
+// UC↔TACC WAN at 30 ms RTT.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "energy/power_model.h"
+
+namespace emlio::sim {
+
+/// Hardware description of one node.
+struct NodeSpec {
+  std::string name;
+  energy::PowerModel cpu;
+  energy::PowerModel dram;
+  energy::PowerModel gpu;     ///< peak==0 → no GPU
+  std::size_t cpu_threads = 48;
+  double disk_bytes_per_sec = 500e6;   ///< sequential read bandwidth
+  Nanos disk_latency = from_micros(80); ///< per-request latency (SSD)
+  double nic_bytes_per_sec = 1.25e9;   ///< 10 Gbps
+
+  bool has_gpu() const { return gpu.peak_watts > 0; }
+};
+
+/// A named network distance regime.
+struct NetworkRegime {
+  std::string name;       ///< "local", "lan_0.1ms", ...
+  double rtt_ms = 0.0;    ///< round-trip time between compute and storage
+  bool local_disk = false; ///< data on the compute node's own disk
+};
+
+namespace presets {
+
+/// UC compute node: gpu_rtx_6000 (Table 1 row 1).
+NodeSpec uc_compute();
+/// UC storage node: compute_skylake (row 2) — no GPU.
+NodeSpec uc_storage();
+/// TACC compute node: gpu_p100 (row 3).
+NodeSpec tacc_compute();
+/// TACC storage node (row 4) — no GPU.
+NodeSpec tacc_storage();
+
+/// §5.1 regimes: local, LAN 0.1 ms, LAN 1 ms, LAN 10 ms, WAN 30 ms.
+NetworkRegime local_disk();
+NetworkRegime lan_01ms();
+NetworkRegime lan_1ms();
+NetworkRegime lan_10ms();
+NetworkRegime wan_30ms();
+
+/// The four regimes of Figure 5, in figure order.
+std::vector<NetworkRegime> fig5_regimes();
+
+}  // namespace presets
+
+/// One-line hardware summary (printed by every bench header).
+std::string describe(const NodeSpec& node);
+
+}  // namespace emlio::sim

@@ -1,0 +1,51 @@
+#include "storage/file_store.h"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+namespace emlio::storage {
+
+std::vector<std::uint8_t> LocalFileStore::read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("file store: cannot open " + path);
+  in.seekg(0, std::ios::end);
+  auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  std::vector<std::uint8_t> out(size);
+  in.read(reinterpret_cast<char*>(out.data()), static_cast<std::streamsize>(size));
+  if (!in) throw std::runtime_error("file store: short read on " + path);
+  return out;
+}
+
+std::uint64_t LocalFileStore::file_size(const std::string& path) {
+  std::error_code ec;
+  auto size = std::filesystem::file_size(path, ec);
+  if (ec) throw std::runtime_error("file store: stat failed for " + path + ": " + ec.message());
+  return size;
+}
+
+LatencyFileStore::LatencyFileStore(std::shared_ptr<FileStore> inner, Options options)
+    : inner_(std::move(inner)), options_(options) {}
+
+void LatencyFileStore::inject(double round_trips) {
+  auto wait = from_millis(options_.rtt_ms * round_trips);
+  injected_.fetch_add(wait, std::memory_order_relaxed);
+  std::this_thread::sleep_for(std::chrono::nanoseconds(wait));
+}
+
+std::vector<std::uint8_t> LatencyFileStore::read_file(const std::string& path) {
+  std::uint64_t size = inner_->file_size(path);
+  double chunks =
+      static_cast<double>((size + options_.chunk_bytes - 1) / options_.chunk_bytes);
+  inject(options_.metadata_ops + chunks);
+  return inner_->read_file(path);
+}
+
+std::uint64_t LatencyFileStore::file_size(const std::string& path) {
+  inject(1.0);
+  return inner_->file_size(path);
+}
+
+}  // namespace emlio::storage

@@ -1,0 +1,63 @@
+// File stores for the real-thread path.
+//
+// The real baselines (per-sample file loaders) read through a FileStore.
+// LocalFileStore hits the filesystem directly; LatencyFileStore wraps any
+// store and sleeps the configured per-operation latency before serving —
+// the in-process equivalent of the paper's tc/qdisc netem on an NFS mount.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace emlio::storage {
+
+class FileStore {
+ public:
+  virtual ~FileStore() = default;
+
+  /// Read an entire file. Throws std::runtime_error on failure.
+  virtual std::vector<std::uint8_t> read_file(const std::string& path) = 0;
+
+  /// File size without reading (stat).
+  virtual std::uint64_t file_size(const std::string& path) = 0;
+};
+
+/// Direct filesystem access.
+class LocalFileStore final : public FileStore {
+ public:
+  std::vector<std::uint8_t> read_file(const std::string& path) override;
+  std::uint64_t file_size(const std::string& path) override;
+};
+
+/// Wraps a store, adding `rtt` of sleep per metadata op and per chunk —
+/// real-time latency injection for tests and examples (keep RTTs small).
+class LatencyFileStore final : public FileStore {
+ public:
+  struct Options {
+    double rtt_ms = 1.0;
+    std::uint64_t chunk_bytes = 1 << 20;  ///< one RTT per chunk (NFS rsize)
+    double metadata_ops = 2.0;            ///< RTTs charged per open
+  };
+
+  LatencyFileStore(std::shared_ptr<FileStore> inner, Options options);
+
+  std::vector<std::uint8_t> read_file(const std::string& path) override;
+  std::uint64_t file_size(const std::string& path) override;
+
+  /// Total simulated network wait injected so far.
+  Nanos injected_wait() const noexcept { return injected_.load(std::memory_order_relaxed); }
+
+ private:
+  void inject(double round_trips);
+
+  std::shared_ptr<FileStore> inner_;
+  Options options_;
+  std::atomic<Nanos> injected_{0};
+};
+
+}  // namespace emlio::storage

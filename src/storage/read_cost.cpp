@@ -1,0 +1,24 @@
+#include "storage/read_cost.h"
+
+#include <cmath>
+
+namespace emlio::storage {
+
+Nanos LocalDiskModel::read_time(std::uint64_t bytes) const {
+  return request_latency + static_cast<Nanos>(static_cast<double>(bytes) / bytes_per_sec * 1e9);
+}
+
+double NfsModel::round_trips(std::uint64_t bytes) const {
+  double chunks = std::ceil(static_cast<double>(bytes) / static_cast<double>(rsize));
+  return metadata_round_trips + chunks;
+}
+
+Nanos NfsModel::read_time(std::uint64_t bytes) const {
+  double rtts = round_trips(bytes);
+  double latency_s = rtts * rtt_ms * 1e-3;
+  double server_s = static_cast<double>(bytes) / server_bytes_per_sec;
+  double wire_s = static_cast<double>(bytes) / stream_bytes_per_sec;
+  return from_seconds(latency_s + std::max(server_s, wire_s)) + server_overhead;
+}
+
+}  // namespace emlio::storage

@@ -1,0 +1,43 @@
+// Storage read-cost models for the simulator.
+//
+// The asymmetry these models encode is the whole paper:
+//   * NFS per-file access pays round trips — open/lookup, then one request
+//     per rsize-sized chunk — so a 0.1 MB JPEG costs ~2–3 RTTs however fat
+//     the pipe is. SGD's "small, independent samples" turn every RTT
+//     increase into a proportional epoch-time increase.
+//   * A storage-side daemon reads big contiguous TFRecord slices from the
+//     local disk (bandwidth-bound, no network round trips on the read path)
+//     and streams them; RTT then only affects pipeline fill.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace emlio::storage {
+
+/// Local direct-attached read: latency + bytes/bandwidth.
+struct LocalDiskModel {
+  double bytes_per_sec = 500e6;
+  Nanos request_latency = from_micros(80);
+
+  Nanos read_time(std::uint64_t bytes) const;
+};
+
+/// NFSv4-mounted remote read, per file.
+struct NfsModel {
+  double rtt_ms = 0.1;
+  std::uint64_t rsize = 512 << 10;    ///< bytes fetched per READ round trip
+  double metadata_round_trips = 2.0;  ///< OPEN+GETATTR (PyTorch adds more)
+  double server_bytes_per_sec = 500e6;  ///< server-side disk
+  double stream_bytes_per_sec = 300e6;  ///< per-connection TCP throughput
+  Nanos server_overhead = from_micros(350);  ///< nfsd + VFS per request
+
+  /// Round trips a file of `bytes` needs (metadata + chunked READs).
+  double round_trips(std::uint64_t bytes) const;
+
+  /// Wall time to fetch one file of `bytes` over one stream.
+  Nanos read_time(std::uint64_t bytes) const;
+};
+
+}  // namespace emlio::storage

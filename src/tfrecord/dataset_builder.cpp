@@ -1,0 +1,57 @@
+#include "tfrecord/dataset_builder.h"
+
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+
+#include "tfrecord/writer.h"
+
+namespace emlio::tfrecord {
+
+std::size_t BuiltDataset::total_records() const {
+  std::size_t n = 0;
+  for (const auto& s : shards) n += s.num_records();
+  return n;
+}
+
+std::uint64_t BuiltDataset::total_payload_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards) n += s.payload_bytes();
+  return n;
+}
+
+BuiltDataset build_dataset(const DatasetBuilderOptions& options, std::uint64_t num_samples,
+                           const SampleSource& source) {
+  namespace fs = std::filesystem;
+  if (options.num_shards == 0) throw std::runtime_error("dataset builder: num_shards must be > 0");
+  if (options.directory.empty()) throw std::runtime_error("dataset builder: directory required");
+  fs::create_directories(options.directory);
+
+  std::vector<std::unique_ptr<ShardWriter>> writers;
+  writers.reserve(options.num_shards);
+  for (std::uint32_t s = 0; s < options.num_shards; ++s) {
+    std::string path =
+        (fs::path(options.directory) / ShardIndex::shard_filename(s)).string();
+    writers.push_back(std::make_unique<ShardWriter>(s, path));
+  }
+
+  for (std::uint64_t i = 0; i < num_samples; ++i) {
+    RawSample sample = source(i);
+    auto shard = static_cast<std::uint32_t>(i % options.num_shards);
+    writers[shard]->append(sample.bytes, sample.label, i);
+  }
+
+  BuiltDataset built;
+  built.directory = options.directory;
+  built.shards.reserve(options.num_shards);
+  for (std::uint32_t s = 0; s < options.num_shards; ++s) {
+    ShardIndex idx = writers[s]->finish();
+    std::string index_path =
+        (fs::path(options.directory) / ShardIndex::index_filename(s)).string();
+    idx.save(index_path);
+    built.shards.push_back(std::move(idx));
+  }
+  return built;
+}
+
+}  // namespace emlio::tfrecord

@@ -1,0 +1,47 @@
+// Dataset → TFRecord shard conversion.
+//
+// Packs a stream of raw samples into `num_shards` shard files plus their
+// mapping_shard_*.json indexes inside a target directory — the one-time
+// conversion §4.3 describes. Samples are distributed round-robin so shards
+// end up balanced in record count (and, for fixed-size workloads, bytes).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tfrecord/shard_index.h"
+
+namespace emlio::tfrecord {
+
+/// A raw sample handed to the builder.
+struct RawSample {
+  std::vector<std::uint8_t> bytes;
+  std::int64_t label = 0;
+};
+
+/// Produces sample i on demand; the builder never holds more than one sample
+/// per shard in memory, so 10 GB datasets convert in O(shards) memory.
+using SampleSource = std::function<RawSample(std::uint64_t index)>;
+
+struct DatasetBuilderOptions {
+  std::uint32_t num_shards = 4;
+  std::string directory;  ///< output directory (created if missing)
+};
+
+/// Result of a conversion: the indexes of every shard written.
+struct BuiltDataset {
+  std::string directory;
+  std::vector<ShardIndex> shards;
+
+  std::size_t total_records() const;
+  std::uint64_t total_payload_bytes() const;
+};
+
+/// Convert `num_samples` samples into shards. Throws on I/O errors.
+BuiltDataset build_dataset(const DatasetBuilderOptions& options, std::uint64_t num_samples,
+                           const SampleSource& source);
+
+}  // namespace emlio::tfrecord

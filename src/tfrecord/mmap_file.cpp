@@ -1,0 +1,76 @@
+#include "tfrecord/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace emlio::tfrecord {
+
+MmapFile::MmapFile(const std::string& path) : path_(path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw std::runtime_error("mmap: cannot open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    throw std::runtime_error("mmap: fstat failed for " + path + ": " + std::strerror(err));
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ == 0) {
+    // mmap of length 0 is invalid; represent an empty file as a null span.
+    ::close(fd);
+    addr_ = nullptr;
+    return;
+  }
+  addr_ = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  int err = errno;
+  ::close(fd);
+  if (addr_ == MAP_FAILED) {
+    addr_ = nullptr;
+    throw std::runtime_error("mmap failed for " + path + ": " + std::strerror(err));
+  }
+}
+
+MmapFile::~MmapFile() { reset(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : path_(std::move(other.path_)), addr_(other.addr_), size_(other.size_) {
+  other.addr_ = nullptr;
+  other.size_ = 0;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    path_ = std::move(other.path_);
+    addr_ = other.addr_;
+    size_ = other.size_;
+    other.addr_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void MmapFile::advise_sequential() const {
+  if (addr_ != nullptr && size_ > 0) {
+    ::madvise(addr_, size_, MADV_SEQUENTIAL);
+  }
+}
+
+void MmapFile::reset() noexcept {
+  if (addr_ != nullptr && size_ > 0) {
+    ::munmap(addr_, size_);
+  }
+  addr_ = nullptr;
+  size_ = 0;
+}
+
+}  // namespace emlio::tfrecord

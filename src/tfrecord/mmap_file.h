@@ -1,0 +1,43 @@
+// RAII memory-mapped file.
+//
+// The EMLIO daemon reads its assigned shards via mmap (§4.1) so that slicing
+// B records is a pointer-range operation with no per-record read() calls.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace emlio::tfrecord {
+
+/// Read-only memory mapping of a whole file. Move-only.
+class MmapFile {
+ public:
+  /// Map `path` read-only. Throws std::runtime_error on failure.
+  explicit MmapFile(const std::string& path);
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// View of the whole mapping.
+  std::span<const std::uint8_t> view() const noexcept {
+    return {static_cast<const std::uint8_t*>(addr_), size_};
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  const std::string& path() const noexcept { return path_; }
+
+  /// Advise the kernel we will read sequentially (madvise SEQUENTIAL).
+  void advise_sequential() const;
+
+ private:
+  void reset() noexcept;
+  std::string path_;
+  void* addr_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace emlio::tfrecord

@@ -1,0 +1,49 @@
+#include "tfrecord/record_io.h"
+
+#include <stdexcept>
+
+#include "common/crc32c.h"
+
+namespace emlio::tfrecord {
+
+std::size_t write_record(std::span<const std::uint8_t> payload, ByteBuffer& out) {
+  std::uint64_t len = payload.size();
+  std::uint8_t len_bytes[8];
+  std::memcpy(len_bytes, &len, sizeof len);  // host is little-endian on all targets we support
+  out.push_u64le(len);
+  out.push_u32le(crc32c::masked(std::span<const std::uint8_t>(len_bytes, 8)));
+  out.push_bytes(payload);
+  out.push_u32le(crc32c::masked(payload));
+  return framed_size(payload.size());
+}
+
+namespace {
+
+ParsedRecord parse(std::span<const std::uint8_t> bytes, bool verify) {
+  ByteReader reader(bytes);
+  std::uint64_t len = reader.read_u64le();
+  std::uint32_t len_crc = reader.read_u32le();
+  if (verify) {
+    std::uint8_t len_bytes[8];
+    std::memcpy(len_bytes, &len, sizeof len);
+    if (crc32c::masked(std::span<const std::uint8_t>(len_bytes, 8)) != len_crc) {
+      throw std::runtime_error("tfrecord: length CRC mismatch");
+    }
+  }
+  auto payload = reader.read_bytes(len);
+  std::uint32_t data_crc = reader.read_u32le();
+  if (verify && crc32c::masked(payload) != data_crc) {
+    throw std::runtime_error("tfrecord: payload CRC mismatch");
+  }
+  return ParsedRecord{payload, framed_size(len)};
+}
+
+}  // namespace
+
+ParsedRecord read_record(std::span<const std::uint8_t> bytes) { return parse(bytes, true); }
+
+ParsedRecord read_record_unchecked(std::span<const std::uint8_t> bytes) {
+  return parse(bytes, false);
+}
+
+}  // namespace emlio::tfrecord

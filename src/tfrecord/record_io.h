@@ -1,0 +1,50 @@
+// TFRecord on-disk framing.
+//
+// Every record in a TFRecord file is stored as
+//
+//   uint64  length          (little-endian)
+//   uint32  masked_crc32c(length bytes)
+//   byte    data[length]
+//   uint32  masked_crc32c(data)
+//
+// exactly as TensorFlow writes it; our shards are byte-compatible. The paper
+// relies on this layout's key property: records are contiguous and
+// length-prefixed, so a *range* of records is one contiguous byte slice that
+// can be grabbed from an mmap without per-record syscalls (§4.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace emlio::tfrecord {
+
+/// Frame header/footer overhead per record: 8 (len) + 4 (len crc) + 4 (data crc).
+inline constexpr std::size_t kFrameOverhead = 16;
+
+/// Size a record of `payload` bytes occupies on disk.
+inline constexpr std::size_t framed_size(std::size_t payload) {
+  return payload + kFrameOverhead;
+}
+
+/// Append one framed record to `out`. Returns the framed size.
+std::size_t write_record(std::span<const std::uint8_t> payload, ByteBuffer& out);
+
+/// Result of parsing one record out of a byte span.
+struct ParsedRecord {
+  std::span<const std::uint8_t> payload;  ///< view into the input span
+  std::size_t framed_size = 0;            ///< bytes consumed including framing
+};
+
+/// Parse the record starting at the beginning of `bytes`.
+/// Throws std::runtime_error on CRC mismatch, std::out_of_range on truncation.
+ParsedRecord read_record(std::span<const std::uint8_t> bytes);
+
+/// Parse the record but skip CRC verification (used on the hot read path once
+/// a shard has been verified at build time; controlled by the caller).
+ParsedRecord read_record_unchecked(std::span<const std::uint8_t> bytes);
+
+}  // namespace emlio::tfrecord

@@ -1,0 +1,99 @@
+#include "tfrecord/shard_index.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "json/json.h"
+#include "tfrecord/record_io.h"
+
+namespace emlio::tfrecord {
+
+std::uint64_t ShardIndex::payload_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& r : records) total += r.framed_size - kFrameOverhead;
+  return total;
+}
+
+std::pair<std::uint64_t, std::uint64_t> ShardIndex::byte_range(std::size_t first,
+                                                               std::size_t count) const {
+  if (count == 0 || first + count > records.size()) {
+    throw std::out_of_range("shard index: record range [" + std::to_string(first) + ", +" +
+                            std::to_string(count) + ") out of bounds (have " +
+                            std::to_string(records.size()) + ")");
+  }
+  const auto& lo = records[first];
+  const auto& hi = records[first + count - 1];
+  return {lo.offset, hi.offset + hi.framed_size};
+}
+
+void ShardIndex::save(const std::string& json_path) const {
+  json::Object root;
+  root["shard_id"] = json::Value(static_cast<std::int64_t>(shard_id));
+  root["shard_path"] = json::Value(shard_path);
+  root["file_bytes"] = json::Value(static_cast<std::int64_t>(file_bytes));
+  json::Array recs;
+  recs.reserve(records.size());
+  for (const auto& r : records) {
+    json::Array row;
+    row.emplace_back(static_cast<std::int64_t>(r.offset));
+    row.emplace_back(static_cast<std::int64_t>(r.framed_size));
+    row.emplace_back(r.label);
+    row.emplace_back(static_cast<std::int64_t>(r.sample_index));
+    recs.emplace_back(std::move(row));
+  }
+  root["records"] = json::Value(std::move(recs));
+  json::write_file(json_path, json::Value(std::move(root)));
+}
+
+ShardIndex ShardIndex::load(const std::string& json_path) {
+  json::Value root = json::parse_file(json_path);
+  ShardIndex idx;
+  idx.shard_id = static_cast<std::uint32_t>(root.at("shard_id").as_int());
+  idx.shard_path = root.at("shard_path").as_string();
+  idx.file_bytes = static_cast<std::uint64_t>(root.at("file_bytes").as_int());
+  for (const auto& row : root.at("records").as_array()) {
+    const auto& tuple = row.as_array();
+    if (tuple.size() != 4) throw std::runtime_error("shard index: record arity != 4");
+    RecordEntry e;
+    e.offset = static_cast<std::uint64_t>(tuple[0].as_int());
+    e.framed_size = static_cast<std::uint64_t>(tuple[1].as_int());
+    e.label = tuple[2].as_int();
+    e.sample_index = static_cast<std::uint64_t>(tuple[3].as_int());
+    idx.records.push_back(e);
+  }
+  return idx;
+}
+
+std::string ShardIndex::index_filename(std::uint32_t shard_id) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "mapping_shard_%04u.json", shard_id);
+  return buf;
+}
+
+std::string ShardIndex::shard_filename(std::uint32_t shard_id) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "shard_%04u.tfrecord", shard_id);
+  return buf;
+}
+
+std::vector<ShardIndex> load_all_indexes(const std::string& directory) {
+  namespace fs = std::filesystem;
+  std::vector<ShardIndex> out;
+  if (!fs::exists(directory)) {
+    throw std::runtime_error("shard index: directory does not exist: " + directory);
+  }
+  for (const auto& entry : fs::directory_iterator(directory)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("mapping_shard_", 0) == 0 && name.size() > 5 &&
+        name.substr(name.size() - 5) == ".json") {
+      out.push_back(ShardIndex::load(entry.path().string()));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ShardIndex& a, const ShardIndex& b) { return a.shard_id < b.shard_id; });
+  return out;
+}
+
+}  // namespace emlio::tfrecord

@@ -1,0 +1,55 @@
+// Shard index — the paper's `mapping_shard_*.json` files.
+//
+// Algorithm 2 line 1: "parse mapping_shard_*.json to get offsets/sizes" and
+// line 2 builds "a global label map from all shards". Each shard's index
+// stores, per record: byte offset in the shard file, framed size, label, and
+// the dataset-global sample index. The Planner consumes these to map
+// contiguous offset ranges to batches without touching the data files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace emlio::tfrecord {
+
+/// Index entry for one record in a shard file.
+struct RecordEntry {
+  std::uint64_t offset = 0;       ///< byte offset of the framed record
+  std::uint64_t framed_size = 0;  ///< bytes on disk including framing
+  std::int64_t label = 0;         ///< training label
+  std::uint64_t sample_index = 0; ///< dataset-global sample id
+};
+
+/// Index for one shard file.
+struct ShardIndex {
+  std::uint32_t shard_id = 0;
+  std::string shard_path;          ///< path of the .tfrecord data file
+  std::uint64_t file_bytes = 0;    ///< total shard file size
+  std::vector<RecordEntry> records;
+
+  std::size_t num_records() const { return records.size(); }
+
+  /// Total payload bytes (excluding framing) across all records.
+  std::uint64_t payload_bytes() const;
+
+  /// Contiguous byte range [begin_offset, end_offset) covering records
+  /// [first, first+count). Throws std::out_of_range if the range is invalid.
+  std::pair<std::uint64_t, std::uint64_t> byte_range(std::size_t first, std::size_t count) const;
+
+  /// Serialize to the mapping_shard JSON schema.
+  void save(const std::string& json_path) const;
+
+  /// Load from JSON; throws on schema violations.
+  static ShardIndex load(const std::string& json_path);
+
+  /// Conventional index filename for a shard id ("mapping_shard_0007.json").
+  static std::string index_filename(std::uint32_t shard_id);
+  /// Conventional data filename ("shard_0007.tfrecord").
+  static std::string shard_filename(std::uint32_t shard_id);
+};
+
+/// Load every mapping_shard_*.json in a directory, sorted by shard id.
+std::vector<ShardIndex> load_all_indexes(const std::string& directory);
+
+}  // namespace emlio::tfrecord

@@ -1,0 +1,48 @@
+#include "tfrecord/writer.h"
+
+#include <stdexcept>
+
+#include "common/bytes.h"
+#include "tfrecord/record_io.h"
+
+namespace emlio::tfrecord {
+
+ShardWriter::ShardWriter(std::uint32_t shard_id, const std::string& shard_path)
+    : out_(shard_path, std::ios::binary | std::ios::trunc) {
+  if (!out_) throw std::runtime_error("tfrecord writer: cannot open " + shard_path);
+  index_.shard_id = shard_id;
+  index_.shard_path = shard_path;
+}
+
+ShardWriter::~ShardWriter() {
+  if (!finished_ && out_.is_open()) out_.close();
+}
+
+RecordEntry ShardWriter::append(std::span<const std::uint8_t> payload, std::int64_t label,
+                                std::uint64_t sample_index) {
+  if (finished_) throw std::runtime_error("tfrecord writer: append after finish");
+  ByteBuffer frame(framed_size(payload.size()));
+  write_record(payload, frame);
+  out_.write(reinterpret_cast<const char*>(frame.data()),
+             static_cast<std::streamsize>(frame.size()));
+  if (!out_) throw std::runtime_error("tfrecord writer: write failed for " + index_.shard_path);
+  RecordEntry entry;
+  entry.offset = offset_;
+  entry.framed_size = frame.size();
+  entry.label = label;
+  entry.sample_index = sample_index;
+  index_.records.push_back(entry);
+  offset_ += frame.size();
+  return entry;
+}
+
+ShardIndex ShardWriter::finish() {
+  if (finished_) throw std::runtime_error("tfrecord writer: finish called twice");
+  finished_ = true;
+  out_.flush();
+  out_.close();
+  index_.file_bytes = offset_;
+  return index_;
+}
+
+}  // namespace emlio::tfrecord

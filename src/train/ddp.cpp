@@ -1,0 +1,29 @@
+#include "train/ddp.h"
+
+#include <algorithm>
+
+namespace emlio::train {
+
+Nanos allreduce_bandwidth_term(const DdpConfig& config, std::uint64_t gradient_bytes) {
+  if (config.nodes < 2) return 0;
+  auto n = static_cast<double>(config.nodes);
+  double chunk = static_cast<double>(gradient_bytes) / n;
+  double total_s = 2.0 * (n - 1.0) * chunk / config.network_bytes_per_sec;
+  return from_seconds(total_s);
+}
+
+Nanos allreduce_time(const DdpConfig& config, std::uint64_t gradient_bytes, double rtt_ms) {
+  if (config.nodes < 2) return 0;
+  auto n = static_cast<double>(config.nodes);
+  double buckets = static_cast<double>(config.gradient_buckets ? config.gradient_buckets : 1);
+  double latency_s = 2.0 * (n - 1.0) * (rtt_ms / 2.0 * 1e-3) * buckets;
+  return allreduce_bandwidth_term(config, gradient_bytes) + from_seconds(latency_s);
+}
+
+Nanos allreduce_exposed(const DdpConfig& config, std::uint64_t gradient_bytes, double rtt_ms,
+                        Nanos overlap_budget) {
+  Nanos full = allreduce_time(config, gradient_bytes, rtt_ms);
+  return std::max<Nanos>(0, full - overlap_budget);
+}
+
+}  // namespace emlio::train

@@ -1,0 +1,44 @@
+// Distributed Data Parallel synchronization cost model.
+//
+// Scenario 2 (sharded) trains with PyTorch DDP across compute nodes; every
+// step ends with a ring allreduce of the gradient. The model charges
+//   T_sync = 2·(N-1)·(RTT/2 + chunk/bw)   with chunk = grad_bytes / N
+// (standard ring allreduce: 2(N-1) sequential neighbor exchanges), and —
+// the effect behind Figure 10's energy growth at constant duration — marks
+// CPU and GPU as *spinning* during the synchronization window: NCCL/Gloo
+// busy-poll while waiting on the network, burning near-active power even
+// though no useful work happens.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace emlio::train {
+
+struct DdpConfig {
+  std::size_t nodes = 2;
+  double network_bytes_per_sec = 1.25e9;  ///< per-link bandwidth
+  std::size_t gradient_buckets = 12;      ///< DDP bucketing: allreduce rounds/step
+  double spin_cpu_threads = 24.0;  ///< host threads busy-polling during sync
+  double spin_gpu_fraction = 0.45; ///< GPU power fraction while spinning
+};
+
+/// Time one ring allreduce of `gradient_bytes` takes at the given RTT.
+/// Gradient bucketing launches one ring per bucket, so the latency term pays
+/// 2·(N-1)·RTT/2 once per bucket while the bandwidth term depends only on
+/// total gradient bytes.
+Nanos allreduce_time(const DdpConfig& config, std::uint64_t gradient_bytes, double rtt_ms);
+
+/// The bandwidth-only component of allreduce_time (RTT-independent). With
+/// bucketed overlap the RTT term hides behind the next step's compute, so
+/// this is the *exposed* per-step stall in a well-tuned DDP setup.
+Nanos allreduce_bandwidth_term(const DdpConfig& config, std::uint64_t gradient_bytes);
+
+/// The part of allreduce_time that overlaps compute when gradient bucketing
+/// overlaps backprop: EMLIO/DALI both overlap, so only the *excess* over the
+/// backward-pass time stalls the step. Helper for the scenario models.
+Nanos allreduce_exposed(const DdpConfig& config, std::uint64_t gradient_bytes, double rtt_ms,
+                        Nanos overlap_budget);
+
+}  // namespace emlio::train

@@ -1,0 +1,33 @@
+#include "train/loss_model.h"
+
+#include <cmath>
+
+namespace emlio::train {
+
+double LossModel::expected(std::uint64_t samples_seen) const {
+  return floor_loss +
+         (initial_loss - floor_loss) * std::exp(-static_cast<double>(samples_seen) / tau_samples);
+}
+
+double LossModel::observe(std::uint64_t samples_seen, Rng& rng) const {
+  return expected(samples_seen) + rng.normal(0.0, noise_stddev);
+}
+
+double MovingAverage::add(double x) {
+  if (values_.size() < window_) {
+    values_.push_back(x);
+    sum_ += x;
+  } else {
+    sum_ += x - values_[next_];
+    values_[next_] = x;
+    next_ = (next_ + 1) % window_;
+  }
+  return value();
+}
+
+double MovingAverage::value() const {
+  if (values_.empty()) return 0.0;
+  return sum_ / static_cast<double>(values_.size());
+}
+
+}  // namespace emlio::train

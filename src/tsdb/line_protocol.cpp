@@ -1,0 +1,135 @@
+#include "tsdb/line_protocol.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace emlio::tsdb {
+
+namespace {
+
+// Escape measurement/tag tokens: spaces, commas and equals signs.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == ' ' || c == ',' || c == '=') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+// Split on unescaped separators, PRESERVING escape sequences in the tokens
+// (tokens may be split again on a different separator later).
+std::vector<std::string> split_escaped(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      cur += s[i];
+      cur += s[i + 1];
+      ++i;
+    } else if (s[i] == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += s[i];
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+// Remove backslash escapes from a leaf token.
+std::string unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      out += s[++i];
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_line(const Point& point) {
+  std::ostringstream oss;
+  oss << escape(point.measurement);
+  for (const auto& [k, v] : point.tags) {
+    oss << ',' << escape(k) << '=' << escape(v);
+  }
+  oss << ' ';
+  bool first = true;
+  char buf[40];
+  for (const auto& [k, v] : point.fields) {
+    if (!first) oss << ',';
+    first = false;
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    oss << escape(k) << '=' << buf;
+  }
+  oss << ' ' << point.timestamp;
+  return oss.str();
+}
+
+Point from_line(const std::string& line) {
+  auto sections = split_escaped(line, ' ');
+  if (sections.size() != 3) {
+    throw std::runtime_error("line protocol: expected 3 sections, got " +
+                             std::to_string(sections.size()));
+  }
+  Point p;
+  auto head = split_escaped(sections[0], ',');
+  if (head.empty() || head[0].empty()) throw std::runtime_error("line protocol: no measurement");
+  p.measurement = unescape(head[0]);
+  for (std::size_t i = 1; i < head.size(); ++i) {
+    auto kv = split_escaped(head[i], '=');
+    if (kv.size() != 2) throw std::runtime_error("line protocol: bad tag '" + head[i] + "'");
+    p.tags[unescape(kv[0])] = unescape(kv[1]);
+  }
+  for (const auto& fieldtok : split_escaped(sections[1], ',')) {
+    auto kv = split_escaped(fieldtok, '=');
+    if (kv.size() != 2) throw std::runtime_error("line protocol: bad field '" + fieldtok + "'");
+    try {
+      p.fields[unescape(kv[0])] = std::stod(unescape(kv[1]));
+    } catch (const std::runtime_error&) {
+      throw;
+    } catch (const std::exception&) {
+      throw std::runtime_error("line protocol: bad field value '" + kv[1] + "'");
+    }
+  }
+  try {
+    p.timestamp = std::stoll(sections[2]);
+  } catch (const std::exception&) {
+    throw std::runtime_error("line protocol: bad timestamp '" + sections[2] + "'");
+  }
+  return p;
+}
+
+void export_file(const Database& db, const Query& query, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("line protocol: cannot write " + path);
+  for (const auto& p : db.select(query)) {
+    out << to_line(p) << '\n';
+  }
+}
+
+std::size_t import_file(Database& db, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("line protocol: cannot open " + path);
+  std::vector<Point> points;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    points.push_back(from_line(line));
+  }
+  std::size_t n = points.size();
+  db.write_points(std::move(points));
+  return n;
+}
+
+}  // namespace emlio::tsdb

@@ -1,0 +1,29 @@
+// InfluxDB line-protocol serialization.
+//
+//   measurement,tag1=v1,tag2=v2 field1=1.5,field2=2 1465839830100400200
+//
+// Used to persist and reload monitor traces (the local-TSDB / central-TSDB
+// forwarding path in Figure 2) and to make traces inspectable with standard
+// tooling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tsdb/tsdb.h"
+
+namespace emlio::tsdb {
+
+/// Serialize one point to a line (no trailing newline).
+std::string to_line(const Point& point);
+
+/// Parse one line. Throws std::runtime_error on malformed input.
+Point from_line(const std::string& line);
+
+/// Write all points of `db` matching `query` to a file, one line each.
+void export_file(const Database& db, const Query& query, const std::string& path);
+
+/// Load a line-protocol file into `db`. Returns number of points loaded.
+std::size_t import_file(Database& db, const std::string& path);
+
+}  // namespace emlio::tsdb

@@ -1,0 +1,123 @@
+#include "tsdb/tsdb.h"
+
+#include <algorithm>
+
+namespace emlio::tsdb {
+
+Database::SeriesKey Database::series_key(const std::string& measurement,
+                                         const std::map<std::string, std::string>& tags) {
+  std::string key = measurement;
+  for (const auto& [k, v] : tags) {
+    key += '\x1f';
+    key += k;
+    key += '=';
+    key += v;
+  }
+  return key;
+}
+
+void Database::write(Point point) {
+  std::vector<Point> one;
+  one.push_back(std::move(point));
+  write_points(std::move(one));
+}
+
+void Database::write_points(std::vector<Point> points) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& p : points) {
+    SeriesKey key = series_key(p.measurement, p.tags);
+    auto& series = series_[key];
+    if (series.points.empty()) {
+      series.tags = p.tags;
+      series_measurement_[key] = p.measurement;
+    }
+    // Fast path: in-order append. Slow path: sorted insert.
+    if (series.points.empty() || series.points.back().timestamp <= p.timestamp) {
+      series.points.push_back(std::move(p));
+    } else {
+      auto it = std::upper_bound(
+          series.points.begin(), series.points.end(), p.timestamp,
+          [](Nanos ts, const Point& q) { return ts < q.timestamp; });
+      series.points.insert(it, std::move(p));
+    }
+  }
+}
+
+namespace {
+
+bool tags_match(const std::map<std::string, std::string>& series_tags,
+                const std::map<std::string, std::string>& filter) {
+  for (const auto& [k, v] : filter) {
+    auto it = series_tags.find(k);
+    if (it == series_tags.end() || it->second != v) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Point> Database::select(const Query& query) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Point> out;
+  for (const auto& [key, series] : series_) {
+    auto mit = series_measurement_.find(key);
+    if (mit == series_measurement_.end() || mit->second != query.measurement) continue;
+    if (!tags_match(series.tags, query.tag_filter)) continue;
+    auto lo = std::lower_bound(series.points.begin(), series.points.end(), query.start,
+                               [](const Point& p, Nanos ts) { return p.timestamp < ts; });
+    for (auto it = lo; it != series.points.end() && it->timestamp < query.end; ++it) {
+      out.push_back(*it);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Point& a, const Point& b) { return a.timestamp < b.timestamp; });
+  return out;
+}
+
+Aggregate Database::aggregate(const Query& query, const std::string& field) const {
+  Aggregate agg;
+  for (const auto& p : select(query)) {
+    auto it = p.fields.find(field);
+    if (it == p.fields.end()) continue;
+    double v = it->second;
+    if (agg.count == 0) {
+      agg.min = agg.max = v;
+    } else {
+      agg.min = std::min(agg.min, v);
+      agg.max = std::max(agg.max, v);
+    }
+    agg.sum += v;
+    ++agg.count;
+  }
+  return agg;
+}
+
+std::vector<std::string> Database::tag_values(const std::string& measurement,
+                                              const std::string& tag) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [key, series] : series_) {
+    auto mit = series_measurement_.find(key);
+    if (mit == series_measurement_.end() || mit->second != measurement) continue;
+    auto it = series.tags.find(tag);
+    if (it != series.tags.end()) out.push_back(it->second);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::size_t Database::total_points() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [key, series] : series_) n += series.points.size();
+  return n;
+}
+
+void Database::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  series_.clear();
+  series_measurement_.clear();
+}
+
+}  // namespace emlio::tsdb

@@ -1,0 +1,98 @@
+// Embedded time-series database.
+//
+// Stand-in for the paper's InfluxDB v1.8 deployment: the EnergyMonitor's
+// Batch Writer calls write_points() with node-tagged, timestamp-aligned
+// energy tuples, and the evaluation later issues start/end-timestamp range
+// queries aggregated per node and component (§3). The store keeps points
+// ordered by time per series and supports tag-filtered range queries, sum /
+// mean / max aggregation, and line-protocol import/export for durability.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace emlio::tsdb {
+
+/// One sample: measurement name, tag set, field set, timestamp.
+struct Point {
+  std::string measurement;
+  std::map<std::string, std::string> tags;
+  std::map<std::string, double> fields;
+  Nanos timestamp = 0;
+
+  bool operator==(const Point&) const = default;
+};
+
+/// Query filter: measurement + optional tag equality constraints + time range.
+struct Query {
+  std::string measurement;
+  std::map<std::string, std::string> tag_filter;  ///< all must match
+  Nanos start = 0;                                ///< inclusive
+  Nanos end = std::numeric_limits<Nanos>::max();  ///< exclusive
+};
+
+/// Aggregation result per field.
+struct Aggregate {
+  std::size_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+};
+
+/// Thread-safe in-memory TSDB.
+class Database {
+ public:
+  Database() = default;
+
+  /// Batch write (the paper's write_points()). Points may arrive out of
+  /// order; each series keeps time-sorted storage.
+  void write_points(std::vector<Point> points);
+
+  /// Write one point.
+  void write(Point point);
+
+  /// All points matching the query, in timestamp order.
+  std::vector<Point> select(const Query& query) const;
+
+  /// Aggregate one field over the query range.
+  Aggregate aggregate(const Query& query, const std::string& field) const;
+
+  /// Sum of `field` over [start, end) — the paper's "aggregate each node's
+  /// energy consumption over that interval".
+  double sum(const Query& query, const std::string& field) const {
+    return aggregate(query, field).sum;
+  }
+
+  /// Distinct values of a tag across a measurement (e.g. all node_ids).
+  std::vector<std::string> tag_values(const std::string& measurement,
+                                      const std::string& tag) const;
+
+  std::size_t total_points() const;
+
+  /// Remove everything.
+  void clear();
+
+ private:
+  struct Series {
+    std::map<std::string, std::string> tags;
+    std::vector<Point> points;  // time-ordered
+  };
+  using SeriesKey = std::string;  // measurement + canonical tag encoding
+
+  static SeriesKey series_key(const std::string& measurement,
+                              const std::map<std::string, std::string>& tags);
+
+  mutable std::mutex mutex_;
+  std::map<SeriesKey, Series> series_;
+  std::map<SeriesKey, std::string> series_measurement_;
+};
+
+}  // namespace emlio::tsdb

@@ -1,0 +1,55 @@
+#include "workload/dataset_spec.h"
+
+namespace emlio::workload::presets {
+
+DatasetSpec imagenet_10gb() {
+  DatasetSpec s;
+  s.name = "imagenet_10gb";
+  s.num_samples = 100000;
+  s.bytes_per_sample = 100000;  // 0.1 MB
+  s.num_classes = 1000;
+  s.size_jitter = 0.25;  // JPEG sizes vary
+  return s;
+}
+
+DatasetSpec coco_10gb() {
+  DatasetSpec s;
+  s.name = "coco_10gb";
+  s.num_samples = 50000;
+  s.bytes_per_sample = 200000;  // 0.2 MB
+  s.num_classes = 80;
+  s.size_jitter = 0.30;
+  return s;
+}
+
+DatasetSpec synthetic_2mb() {
+  DatasetSpec s;
+  s.name = "synthetic_2mb";
+  s.num_samples = 5120;
+  s.bytes_per_sample = 2000000;  // 2 MB
+  s.num_classes = 10;
+  s.size_jitter = 0.0;  // fixed-size records
+  return s;
+}
+
+DatasetSpec llm_text_10gb() {
+  DatasetSpec s;
+  s.name = "llm_text_10gb";
+  s.num_samples = 2'500'000;
+  s.bytes_per_sample = 4096;  // one packed sequence (e.g. 2k tokens, bf16 ids)
+  s.num_classes = 1;          // next-token objective: no classification label
+  s.size_jitter = 0.0;        // sequences are packed to fixed length
+  return s;
+}
+
+DatasetSpec tiny(std::uint64_t num_samples, std::uint64_t bytes_per_sample) {
+  DatasetSpec s;
+  s.name = "tiny";
+  s.num_samples = num_samples;
+  s.bytes_per_sample = bytes_per_sample;
+  s.num_classes = 10;
+  s.size_jitter = 0.1;
+  return s;
+}
+
+}  // namespace emlio::workload::presets

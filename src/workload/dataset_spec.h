@@ -1,0 +1,45 @@
+// Dataset specifications for the paper's three workloads (§5.1):
+// ImageNet-like (0.1 MB/sample), COCO-like (0.2 MB/sample) and synthetic
+// 2 MB records. Specs drive both the simulator (record counts and sizes)
+// and the on-disk generator (pseudo-JPEG payloads for the real path).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace emlio::workload {
+
+struct DatasetSpec {
+  std::string name;
+  std::uint64_t num_samples = 0;
+  std::uint64_t bytes_per_sample = 0;  ///< mean encoded sample size
+  std::uint32_t num_classes = 1000;
+  double size_jitter = 0.0;  ///< relative stddev of per-sample size (0 = fixed)
+
+  std::uint64_t total_bytes() const { return num_samples * bytes_per_sample; }
+  double total_gb() const { return static_cast<double>(total_bytes()) / 1e9; }
+};
+
+namespace presets {
+
+/// The paper's 10 GB ImageNet subset: 0.1 MB/sample → 100 000 samples.
+DatasetSpec imagenet_10gb();
+
+/// COCO at 0.2 MB/sample, 10 GB working set → 50 000 samples.
+DatasetSpec coco_10gb();
+
+/// Synthetic 2 MB records, 10 GB → 5 120 samples (§5.1 "Synthetic 2 MB").
+DatasetSpec synthetic_2mb();
+
+/// Text-for-LLM workload (the paper's §6 future work: "extending EMLIO
+/// beyond TFRecord to support ... text for LLM training"): packed 4 KiB
+/// token sequences, 10 GB → 2.5 M samples. Stresses the many-tiny-records
+/// regime where per-file loaders are at their worst.
+DatasetSpec llm_text_10gb();
+
+/// Tiny variants for tests and examples (seconds, not minutes, on one core).
+DatasetSpec tiny(std::uint64_t num_samples = 64, std::uint64_t bytes_per_sample = 4096);
+
+}  // namespace presets
+
+}  // namespace emlio::workload

@@ -1,0 +1,46 @@
+#include "workload/materialize.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace emlio::workload {
+
+tfrecord::BuiltDataset materialize_tfrecord(const DatasetSpec& spec, const std::string& directory,
+                                            std::uint32_t num_shards, std::uint64_t seed) {
+  SampleGenerator gen(spec, seed);
+  tfrecord::DatasetBuilderOptions options;
+  options.num_shards = num_shards;
+  options.directory = directory;
+  return tfrecord::build_dataset(options, spec.num_samples, [&](std::uint64_t i) {
+    tfrecord::RawSample raw;
+    raw.bytes = gen.generate(i);
+    raw.label = gen.label(i);
+    return raw;
+  });
+}
+
+std::string sample_filename(std::uint64_t index) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "sample_%08llu.jpg", static_cast<unsigned long long>(index));
+  return buf;
+}
+
+std::uint64_t materialize_files(const DatasetSpec& spec, const std::string& directory,
+                                std::uint64_t seed) {
+  namespace fs = std::filesystem;
+  fs::create_directories(directory);
+  SampleGenerator gen(spec, seed);
+  for (std::uint64_t i = 0; i < spec.num_samples; ++i) {
+    auto bytes = gen.generate(i);
+    std::string path = (fs::path(directory) / sample_filename(i)).string();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("materialize: cannot write " + path);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  return spec.num_samples;
+}
+
+}  // namespace emlio::workload

@@ -1,0 +1,28 @@
+// Materialize a DatasetSpec on disk.
+//
+// Two layouts, matching the two access patterns of §5:
+//   * TFRecord shards + mapping_shard_*.json (EMLIO's format), and
+//   * one-file-per-sample directories (what PyTorch DataLoader / DALI read
+//     over NFS — "small, independent samples").
+#pragma once
+
+#include <string>
+
+#include "tfrecord/dataset_builder.h"
+#include "workload/sample_generator.h"
+
+namespace emlio::workload {
+
+/// Build TFRecord shards for `spec` into `directory`.
+tfrecord::BuiltDataset materialize_tfrecord(const DatasetSpec& spec, const std::string& directory,
+                                            std::uint32_t num_shards, std::uint64_t seed = 7);
+
+/// Write each sample as an individual file ("sample_00000042.jpg").
+/// Returns the number of files written.
+std::uint64_t materialize_files(const DatasetSpec& spec, const std::string& directory,
+                                std::uint64_t seed = 7);
+
+/// Path of sample i inside a per-file layout.
+std::string sample_filename(std::uint64_t index);
+
+}  // namespace emlio::workload

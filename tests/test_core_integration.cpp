@@ -1,0 +1,463 @@
+// Integration tests across the EMLIO stack: daemon → transport → receiver →
+// pipeline → trainer, over both the in-process channel and real loopback TCP.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/daemon.h"
+#include "core/planner.h"
+#include "core/receiver.h"
+#include "core/service.h"
+#include "net/sim_channel.h"
+#include "pipeline/pipeline.h"
+#include "train/trainer.h"
+#include "workload/materialize.h"
+
+namespace emlio::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CoreIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / ("emlio_core_" + std::to_string(::getpid()) + "_" +
+                                        ::testing::UnitTest::GetInstance()
+                                            ->current_test_info()
+                                            ->name());
+    fs::create_directories(dir_);
+    spec_ = workload::presets::tiny(48, 900);
+    built_ = workload::materialize_tfrecord(spec_, dir_.string(), 3);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  ServiceConfig base_config() {
+    ServiceConfig cfg;
+    cfg.dataset_dir = dir_.string();
+    cfg.batch_size = 8;
+    cfg.epochs = 1;
+    cfg.threads_per_node = 2;
+    return cfg;
+  }
+
+  /// Drain one service epoch into a trainer; returns the epoch result.
+  train::EpochResult run_epoch(EmlioService& service, std::uint32_t epoch) {
+    train::TrainerOptions topt;
+    topt.expected_samples_per_epoch = spec_.num_samples;
+    train::Trainer trainer(topt);
+    trainer.start_epoch(epoch);
+    while (auto batch = service.next_batch()) {
+      if (batch->last) break;
+      trainer.train_step(*batch);
+    }
+    return trainer.end_epoch();
+  }
+
+  fs::path dir_;
+  workload::DatasetSpec spec_;
+  tfrecord::BuiltDataset built_;
+};
+
+TEST_F(CoreIntegrationTest, InProcessEpochCoversDatasetExactlyOnce) {
+  EmlioService service(base_config());
+  service.start();
+  auto result = run_epoch(service, 0);
+  EXPECT_TRUE(result.clean(spec_.num_samples)) << "dups=" << result.duplicate_samples
+                                               << " corrupt=" << result.corrupt_samples;
+  EXPECT_EQ(result.samples, 48u);
+  service.stop();
+  auto stats = service.stats();
+  EXPECT_EQ(stats.daemon.samples_sent, 48u);
+  EXPECT_EQ(stats.receiver.samples_received, 48u);
+  EXPECT_EQ(stats.receiver.decode_errors, 0u);
+}
+
+TEST_F(CoreIntegrationTest, TcpTransportDeliversSameGuarantees) {
+  auto cfg = base_config();
+  cfg.transport = Transport::kTcp;
+  cfg.num_streams = 3;
+  EmlioService service(cfg);
+  service.start();
+  auto result = run_epoch(service, 0);
+  EXPECT_TRUE(result.clean(spec_.num_samples));
+  service.stop();
+}
+
+TEST_F(CoreIntegrationTest, MultiEpochEachCovered) {
+  auto cfg = base_config();
+  cfg.epochs = 3;
+  EmlioService service(cfg);
+  service.start();
+  for (std::uint32_t e = 0; e < 3; ++e) {
+    auto result = run_epoch(service, e);
+    EXPECT_TRUE(result.clean(spec_.num_samples)) << "epoch " << e;
+  }
+  // Stream ends after the final epoch.
+  EXPECT_FALSE(service.next_batch().has_value());
+  service.stop();
+}
+
+TEST_F(CoreIntegrationTest, LatencyInjectedChannelStillCorrect) {
+  auto cfg = base_config();
+  cfg.link.rtt_ms = 10.0;  // emulated LAN
+  cfg.link.bandwidth_bytes_per_sec = 50e6;
+  EmlioService service(cfg);
+  service.start();
+  auto result = run_epoch(service, 0);
+  EXPECT_TRUE(result.clean(spec_.num_samples));
+  service.stop();
+}
+
+TEST_F(CoreIntegrationTest, LatencySpikeMidEpochDoesNotCorrupt) {
+  auto cfg = base_config();
+  cfg.link.rtt_ms = 2.0;
+  EmlioService service(cfg);
+  service.start();
+  train::TrainerOptions topt;
+  topt.expected_samples_per_epoch = spec_.num_samples;
+  train::Trainer trainer(topt);
+  trainer.start_epoch(0);
+  int seen = 0;
+  while (auto batch = service.next_batch()) {
+    if (batch->last) break;
+    trainer.train_step(*batch);
+    if (++seen == 2) {
+      // Congestion episode: +20 ms on every subsequent message.
+      // (Fault injection through the link control handle.)
+      service.timestamps().record("fault_injected");
+    }
+  }
+  EXPECT_TRUE(trainer.end_epoch().clean(spec_.num_samples));
+  service.stop();
+}
+
+TEST_F(CoreIntegrationTest, ShuffleOffPreservesShardOrder) {
+  auto cfg = base_config();
+  cfg.shuffle = false;
+  cfg.threads_per_node = 1;
+  EmlioService service(cfg);
+  service.start();
+  std::vector<std::uint64_t> batch_ids;
+  while (auto batch = service.next_batch()) {
+    if (batch->last) break;
+    batch_ids.push_back(batch->batch_id);
+  }
+  // Single worker + single stream in-process channel → planner batch order.
+  for (std::size_t i = 0; i < batch_ids.size(); ++i) {
+    EXPECT_EQ(batch_ids[i], i);
+  }
+  service.stop();
+}
+
+TEST_F(CoreIntegrationTest, TimestampLoggerCapturesSendRecvPairs) {
+  EmlioService service(base_config());
+  service.start();
+  while (auto batch = service.next_batch()) {
+    if (batch->last) break;
+  }
+  service.stop();
+  auto sends = service.timestamps().events_with_label("batch_send");
+  auto recvs = service.timestamps().events_with_label("batch_recv");
+  EXPECT_EQ(sends.size(), 6u);  // 48 samples / B=8
+  EXPECT_EQ(recvs.size(), 6u);
+  EXPECT_GE(service.timestamps().span("epoch_start", "epoch_complete"), 0);
+}
+
+TEST_F(CoreIntegrationTest, PipelineIntegration) {
+  EmlioService service(base_config());
+  service.start();
+  pipeline::PipelineConfig pcfg;
+  pcfg.num_threads = 2;
+  pipeline::Pipeline pipe(pcfg, [&]() { return service.next_batch(); });
+  pipe.warm_up();
+  std::size_t samples = 0;
+  std::size_t epoch_ends = 0;
+  while (auto out = pipe.run()) {
+    if (out->epoch_end) {
+      ++epoch_ends;
+      continue;
+    }
+    samples += out->samples.size();
+    for (const auto& s : out->samples) EXPECT_TRUE(s.checksum_ok);
+  }
+  EXPECT_EQ(samples, 48u);
+  EXPECT_EQ(epoch_ends, 1u);
+  EXPECT_EQ(pipe.stats().checksum_failures, 0u);
+  service.stop();
+}
+
+TEST_F(CoreIntegrationTest, ServiceRejectsEmptyDirectory) {
+  auto empty = dir_ / "empty";
+  fs::create_directories(empty);
+  ServiceConfig cfg;
+  cfg.dataset_dir = empty.string();
+  EXPECT_THROW(EmlioService{cfg}, std::runtime_error);
+}
+
+// ------------------------------------------------- receiver ordering logic
+
+/// Scripted source: hands out a fixed sequence of encoded payloads.
+struct ScriptedSource final : net::MessageSource {
+  explicit ScriptedSource(std::vector<msgpack::WireBatch> batches) {
+    for (auto& b : batches) script.push_back(msgpack::BatchCodec::encode(b));
+  }
+  std::optional<std::vector<std::uint8_t>> recv() override {
+    if (pos >= script.size()) return std::nullopt;
+    return script[pos++];
+  }
+  void close() override {}
+  std::vector<std::vector<std::uint8_t>> script;
+  std::size_t pos = 0;
+};
+
+msgpack::WireBatch data_batch(std::uint32_t epoch, std::uint64_t id) {
+  msgpack::WireBatch b;
+  b.epoch = epoch;
+  b.batch_id = id;
+  msgpack::WireSample s;
+  s.index = id;
+  s.bytes = {1, 2, 3};
+  b.samples.push_back(std::move(s));
+  return b;
+}
+
+TEST(ReceiverOrdering, SentinelOvertakingDataIsHeldBack) {
+  // Multi-stream transports can deliver the sentinel BEFORE the last data
+  // batches; the epoch marker must still come out after all data.
+  std::vector<msgpack::WireBatch> script;
+  script.push_back(data_batch(0, 0));
+  script.push_back(msgpack::BatchCodec::make_sentinel(0, 0, /*sent_count=*/3));  // early!
+  script.push_back(data_batch(0, 1));
+  script.push_back(data_batch(0, 2));
+
+  ReceiverConfig rc;
+  rc.num_senders = 1;
+  Receiver receiver(rc, std::make_unique<ScriptedSource>(std::move(script)));
+  std::vector<bool> lasts;
+  for (int i = 0; i < 4; ++i) {
+    auto b = receiver.next();
+    ASSERT_TRUE(b.has_value());
+    lasts.push_back(b->last);
+  }
+  EXPECT_EQ(lasts, (std::vector<bool>{false, false, false, true}));
+}
+
+TEST(ReceiverOrdering, NextEpochDataHeldUntilCurrentCompletes) {
+  // Epoch-1 data overtaking epoch-0's tail must be buffered: consumers see
+  // strictly [e0 data..., e0 marker, e1 data..., e1 marker].
+  std::vector<msgpack::WireBatch> script;
+  script.push_back(data_batch(0, 0));
+  script.push_back(data_batch(1, 0));  // overtook epoch 0's tail
+  script.push_back(data_batch(0, 1));
+  script.push_back(msgpack::BatchCodec::make_sentinel(0, 0, 2));
+  script.push_back(msgpack::BatchCodec::make_sentinel(0, 1, 1));
+
+  ReceiverConfig rc;
+  rc.num_senders = 1;
+  Receiver receiver(rc, std::make_unique<ScriptedSource>(std::move(script)));
+  std::vector<std::pair<std::uint32_t, bool>> order;
+  for (int i = 0; i < 5; ++i) {
+    auto b = receiver.next();
+    ASSERT_TRUE(b.has_value());
+    order.emplace_back(b->epoch, b->last);
+  }
+  std::vector<std::pair<std::uint32_t, bool>> want{
+      {0, false}, {0, false}, {0, true}, {1, false}, {1, true}};
+  EXPECT_EQ(order, want);
+}
+
+TEST(ReceiverOrdering, TwoSendersBothSentinelsRequired) {
+  std::vector<msgpack::WireBatch> script;
+  script.push_back(data_batch(0, 0));
+  script.push_back(msgpack::BatchCodec::make_sentinel(0, 0, 1));  // sender A
+  script.push_back(data_batch(0, 1));
+  script.push_back(msgpack::BatchCodec::make_sentinel(0, 0, 1));  // sender B
+
+  ReceiverConfig rc;
+  rc.num_senders = 2;
+  Receiver receiver(rc, std::make_unique<ScriptedSource>(std::move(script)));
+  EXPECT_FALSE(receiver.next()->last);
+  EXPECT_FALSE(receiver.next()->last);
+  EXPECT_TRUE(receiver.next()->last);  // only after BOTH sentinels + all data
+}
+
+TEST(ReceiverOrdering, UndecodablePayloadCountedNotFatal) {
+  std::vector<msgpack::WireBatch> script;
+  script.push_back(data_batch(0, 0));
+  script.push_back(msgpack::BatchCodec::make_sentinel(0, 0, 1));
+  auto source = std::make_unique<ScriptedSource>(std::move(script));
+  // Inject garbage between the two valid payloads.
+  source->script.insert(source->script.begin() + 1,
+                        std::vector<std::uint8_t>{0xDE, 0xAD, 0xBE, 0xEF});
+  ReceiverConfig rc;
+  rc.num_senders = 1;
+  Receiver receiver(rc, std::move(source));
+  EXPECT_FALSE(receiver.next()->last);
+  EXPECT_TRUE(receiver.next()->last);
+  EXPECT_EQ(receiver.stats().decode_errors, 1u);
+}
+
+// ------------------------------------------------------ multi-daemon setup
+
+TEST_F(CoreIntegrationTest, TwoDaemonsOneReceiverSentinelAggregation) {
+  // Split shards across two daemons pushing into one receiver (the sharded
+  // storage topology): the receiver must emit exactly one epoch marker after
+  // BOTH daemons finish.
+  auto indexes = tfrecord::load_all_indexes(dir_.string());
+  ASSERT_EQ(indexes.size(), 3u);
+
+  PlannerConfig pc;
+  pc.batch_size = 8;
+  pc.epochs = 1;
+  Planner planner(indexes, pc);
+  auto plan = planner.plan_epoch(0, 1);
+
+  auto ch1 = net::make_sim_channel({});
+  auto ch2 = net::make_sim_channel({});
+
+  // Receiver merging two sources: use a small adapter multiplexing both.
+  struct DualSource final : net::MessageSource {
+    std::unique_ptr<net::MessageSource> a, b;
+    BoundedQueue<std::vector<std::uint8_t>> merged{64};
+    std::thread ta, tb;
+    DualSource(std::unique_ptr<net::MessageSource> x, std::unique_ptr<net::MessageSource> y)
+        : a(std::move(x)), b(std::move(y)) {
+      ta = std::thread([this] {
+        while (auto m = a->recv()) {
+          if (!merged.push(std::move(*m))) return;
+        }
+        if (++finished == 2) merged.close();
+      });
+      tb = std::thread([this] {
+        while (auto m = b->recv()) {
+          if (!merged.push(std::move(*m))) return;
+        }
+        if (++finished == 2) merged.close();
+      });
+    }
+    ~DualSource() override {
+      close();
+      if (ta.joinable()) ta.join();
+      if (tb.joinable()) tb.join();
+    }
+    std::optional<std::vector<std::uint8_t>> recv() override { return merged.pop(); }
+    void close() override {
+      a->close();
+      b->close();
+      merged.close();
+    }
+    std::atomic<int> finished{0};
+  };
+
+  ReceiverConfig rc;
+  rc.num_senders = 2;
+  Receiver receiver(rc, std::make_unique<DualSource>(std::move(ch1.source), std::move(ch2.source)));
+
+  auto sink1 = std::shared_ptr<net::MessageSink>(std::move(ch1.sink));
+  auto sink2 = std::shared_ptr<net::MessageSink>(std::move(ch2.sink));
+
+  // Daemon 1 owns shards 0,1; daemon 2 owns shard 2.
+  std::vector<tfrecord::ShardReader> r1;
+  r1.emplace_back(indexes[0]);
+  r1.emplace_back(indexes[1]);
+  std::vector<tfrecord::ShardReader> r2;
+  r2.emplace_back(indexes[2]);
+
+  std::map<std::uint32_t, std::shared_ptr<net::MessageSink>> sinks1{{0u, sink1}};
+  std::map<std::uint32_t, std::shared_ptr<net::MessageSink>> sinks2{{0u, sink2}};
+  Daemon d1(DaemonConfig{"d1", false}, std::move(r1), sinks1);
+  Daemon d2(DaemonConfig{"d2", false}, std::move(r2), sinks2);
+
+  std::thread t1([&] {
+    d1.serve_epoch(plan);
+    sink1->close();
+  });
+  std::thread t2([&] {
+    d2.serve_epoch(plan);
+    sink2->close();
+  });
+
+  std::uint64_t samples = 0;
+  std::size_t markers = 0;
+  while (auto batch = receiver.next()) {
+    if (batch->last) {
+      ++markers;
+      if (markers == 1 && samples == spec_.num_samples) break;
+      continue;
+    }
+    samples += batch->samples.size();
+  }
+  t1.join();
+  t2.join();
+  EXPECT_EQ(samples, 48u);
+  EXPECT_EQ(markers, 1u);  // aggregated: one marker for two sentinels
+  EXPECT_EQ(d1.stats().samples_sent + d2.stats().samples_sent, 48u);
+}
+
+// --------------------------------------------- end-to-end property sweep
+
+/// Property: for ANY combination of shard count, batch size, daemon
+/// threads, stream count and transport, one epoch through the full stack
+/// delivers every sample exactly once with intact payloads.
+struct E2eParams {
+  std::uint32_t shards;
+  std::size_t batch;
+  std::uint32_t threads;
+  std::size_t streams;
+  Transport transport;
+};
+
+class EndToEndSweep : public ::testing::TestWithParam<E2eParams> {};
+
+TEST_P(EndToEndSweep, EpochAlwaysCleanAcrossConfigs) {
+  const auto& p = GetParam();
+  namespace fs = std::filesystem;
+  auto dir = fs::temp_directory_path() /
+             ("emlio_e2e_" + std::to_string(::getpid()) + "_" + std::to_string(p.shards) + "_" +
+              std::to_string(p.batch) + "_" + std::to_string(p.threads) + "_" +
+              std::to_string(p.streams) + "_" + std::to_string(static_cast<int>(p.transport)));
+  fs::remove_all(dir);
+  auto spec = workload::presets::tiny(53, 700);  // prime count: ragged batches
+  workload::materialize_tfrecord(spec, dir.string(), p.shards);
+
+  ServiceConfig cfg;
+  cfg.dataset_dir = dir.string();
+  cfg.batch_size = p.batch;
+  cfg.threads_per_node = p.threads;
+  cfg.num_streams = p.streams;
+  cfg.transport = p.transport;
+  EmlioService service(cfg);
+  service.start();
+
+  train::TrainerOptions topt;
+  topt.expected_samples_per_epoch = spec.num_samples;
+  train::Trainer trainer(topt);
+  trainer.start_epoch(0);
+  while (auto batch = service.next_batch()) {
+    if (batch->last) break;
+    trainer.train_step(*batch);
+  }
+  auto result = trainer.end_epoch();
+  EXPECT_TRUE(result.clean(spec.num_samples))
+      << "shards=" << p.shards << " B=" << p.batch << " T=" << p.threads
+      << " streams=" << p.streams << " dups=" << result.duplicate_samples
+      << " corrupt=" << result.corrupt_samples << " samples=" << result.samples;
+  service.stop();
+  fs::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EndToEndSweep,
+    ::testing::Values(E2eParams{1, 1, 1, 1, Transport::kInProcess},
+                      E2eParams{2, 7, 1, 1, Transport::kInProcess},
+                      E2eParams{3, 8, 2, 1, Transport::kInProcess},
+                      E2eParams{5, 16, 4, 1, Transport::kInProcess},
+                      E2eParams{1, 53, 2, 1, Transport::kInProcess},
+                      E2eParams{4, 100, 3, 1, Transport::kInProcess},
+                      E2eParams{2, 8, 2, 2, Transport::kTcp},
+                      E2eParams{3, 5, 3, 4, Transport::kTcp},
+                      E2eParams{5, 16, 1, 3, Transport::kTcp},
+                      E2eParams{1, 9, 4, 2, Transport::kTcp}));
+
+}  // namespace
+}  // namespace emlio::core

@@ -1,0 +1,272 @@
+// Shape tests for the evaluation models: the qualitative claims of §5 must
+// emerge from the queueing structure — EMLIO flat across RTT, PyTorch/DALI
+// degrading, the Figure 7→8 concurrency crossover, sharded-energy growth.
+#include <gtest/gtest.h>
+
+#include "eval/loader_models.h"
+#include "eval/scenario.h"
+
+namespace emlio::eval {
+namespace {
+
+workload::DatasetSpec small_imagenet() {
+  auto ds = workload::presets::imagenet_10gb();
+  ds.num_samples /= 10;  // 1 GB — keeps per-sample models fast in tests
+  return ds;
+}
+
+ScenarioConfig cfg_for(LoaderKind loader, const sim::NetworkRegime& regime) {
+  return centralized(loader, small_imagenet(), train::presets::resnet50(), regime);
+}
+
+TEST(EvalModels, EmlioDurationFlatAcrossRtt) {
+  double local = run_scenario(cfg_for(LoaderKind::kEmlio, sim::presets::local_disk())).duration_s;
+  double lan = run_scenario(cfg_for(LoaderKind::kEmlio, sim::presets::lan_01ms())).duration_s;
+  double lan10 = run_scenario(cfg_for(LoaderKind::kEmlio, sim::presets::lan_10ms())).duration_s;
+  double wan = run_scenario(cfg_for(LoaderKind::kEmlio, sim::presets::wan_30ms())).duration_s;
+  // The paper's ±5 % claim.
+  double lo = std::min({lan, lan10, wan});
+  double hi = std::max({lan, lan10, wan});
+  EXPECT_LT((hi - lo) / lo, 0.05);
+  EXPECT_GT(local, 0.0);
+}
+
+TEST(EvalModels, PyTorchDegradesMonotonicallyWithRtt) {
+  double lan = run_scenario(cfg_for(LoaderKind::kPyTorch, sim::presets::lan_01ms())).duration_s;
+  double lan10 = run_scenario(cfg_for(LoaderKind::kPyTorch, sim::presets::lan_10ms())).duration_s;
+  double wan = run_scenario(cfg_for(LoaderKind::kPyTorch, sim::presets::wan_30ms())).duration_s;
+  EXPECT_GT(lan10, 2.0 * lan);  // the Figure-5 blow-up
+  EXPECT_GT(wan, 2.0 * lan10);
+}
+
+TEST(EvalModels, DaliDegradesButLessThanPyTorch) {
+  double d10 = run_scenario(cfg_for(LoaderKind::kDali, sim::presets::lan_10ms())).duration_s;
+  double p10 = run_scenario(cfg_for(LoaderKind::kPyTorch, sim::presets::lan_10ms())).duration_s;
+  double d01 = run_scenario(cfg_for(LoaderKind::kDali, sim::presets::lan_01ms())).duration_s;
+  EXPECT_GT(d10, 1.5 * d01);  // DALI also suffers...
+  EXPECT_LT(d10, p10);        // ...but less than PyTorch (Figure 5 ordering)
+}
+
+TEST(EvalModels, EmlioBeatsBothAtHighRtt) {
+  auto wan = sim::presets::wan_30ms();
+  double e = run_scenario(cfg_for(LoaderKind::kEmlio, wan)).duration_s;
+  double d = run_scenario(cfg_for(LoaderKind::kDali, wan)).duration_s;
+  double p = run_scenario(cfg_for(LoaderKind::kPyTorch, wan)).duration_s;
+  EXPECT_GT(d / e, 5.0);   // paper: ~10.9× at WAN
+  EXPECT_GT(p / e, 15.0);  // paper: ~27×
+}
+
+TEST(EvalModels, EmlioEnergyFlatWhileDaliEnergyGrows) {
+  auto e01 = run_scenario(cfg_for(LoaderKind::kEmlio, sim::presets::lan_01ms()));
+  auto e30 = run_scenario(cfg_for(LoaderKind::kEmlio, sim::presets::wan_30ms()));
+  auto d01 = run_scenario(cfg_for(LoaderKind::kDali, sim::presets::lan_01ms()));
+  auto d30 = run_scenario(cfg_for(LoaderKind::kDali, sim::presets::wan_30ms()));
+  EXPECT_NEAR(e30.total.total() / e01.total.total(), 1.0, 0.05);
+  EXPECT_GT(d30.total.total() / d01.total.total(), 3.0);
+}
+
+TEST(EvalModels, GpuEnergyDominatedByIdleWhenStalled) {
+  // At WAN RTT the PyTorch run's GPU is mostly idle, so its *average power*
+  // must approach the idle floor even as total energy balloons.
+  auto r = run_scenario(cfg_for(LoaderKind::kPyTorch, sim::presets::wan_30ms()));
+  double avg_gpu_watts = r.total.gpu_joules / r.duration_s;
+  auto gpu = sim::presets::uc_compute().gpu;
+  EXPECT_LT(avg_gpu_watts, gpu.idle_watts * 1.35);
+  EXPECT_GE(avg_gpu_watts, gpu.idle_watts * 0.99);
+}
+
+TEST(EvalModels, SyntheticConcurrencyCrossover) {
+  // Figures 7/8: with T=1 the daemon's serializer bottlenecks 2 MB records
+  // and DALI wins at low RTT; T=2 restores EMLIO's lead.
+  auto ds = workload::presets::synthetic_2mb();
+  auto lan = sim::presets::lan_01ms();
+  auto emlio_c1 = centralized(LoaderKind::kEmlio, ds, train::presets::resnet50(), lan);
+  emlio_c1.params.batch_size = 32;
+  emlio_c1.params.emlio_daemon_threads = 1;
+  auto emlio_c2 = emlio_c1;
+  emlio_c2.params.emlio_daemon_threads = 2;
+  auto dali = centralized(LoaderKind::kDali, ds, train::presets::resnet50(), lan);
+  dali.params.batch_size = 32;
+
+  double t_c1 = run_scenario(emlio_c1).duration_s;
+  double t_c2 = run_scenario(emlio_c2).duration_s;
+  double t_dali = run_scenario(dali).duration_s;
+  EXPECT_GT(t_c1, t_dali);  // Fig 7 at 0.1 ms: serialization overhead
+  EXPECT_LT(t_c2, t_c1);    // concurrency amortizes it (Fig 8)
+}
+
+TEST(EvalModels, ShardedEnergyGrowsWithRttAtFlatDuration) {
+  auto ds = small_imagenet();
+  auto mk = [&](const sim::NetworkRegime& regime) {
+    auto cfg = sharded(LoaderKind::kEmlio, ds, train::presets::resnet50(), regime);
+    return run_scenario(cfg);
+  };
+  auto r01 = mk(sim::presets::lan_01ms());
+  auto r30 = mk(sim::presets::wan_30ms());
+  // Figure 10: duration ~flat, energy up (busy-poll during allreduce).
+  EXPECT_NEAR(r30.duration_s / r01.duration_s, 1.0, 0.10);
+  EXPECT_GT(r30.total.cpu_joules, 1.3 * r01.total.cpu_joules);
+  EXPECT_EQ(r01.compute_energy.size(), 2u);  // two compute nodes reported
+}
+
+TEST(EvalModels, ShardedSlowerThanCentralizedForSameLoader) {
+  auto ds = small_imagenet();
+  auto cen = run_scenario(centralized(LoaderKind::kEmlio, ds, train::presets::resnet50(),
+                                      sim::presets::lan_01ms()));
+  auto sh = run_scenario(sharded(LoaderKind::kEmlio, ds, train::presets::resnet50(),
+                                 sim::presets::lan_01ms()));
+  EXPECT_GT(sh.duration_s, cen.duration_s);  // DDP sync costs something
+}
+
+TEST(EvalModels, StageBreakdownOrdering) {
+  // Figure 1: R ≤ R+P ≤ R+P+T in duration, and at WAN the read stage
+  // dominates the full pipeline (>60 % of it).
+  auto base = cfg_for(LoaderKind::kPyTorch, sim::presets::wan_30ms());
+  auto read = base;
+  read.stage = Stage::kRead;
+  auto read_pre = base;
+  read_pre.stage = Stage::kReadPreprocess;
+  double r = run_scenario(read).duration_s;
+  double rp = run_scenario(read_pre).duration_s;
+  double rpt = run_scenario(base).duration_s;
+  EXPECT_LE(r, rp * 1.001);
+  EXPECT_LE(rp, rpt * 1.001);
+  EXPECT_GT(r / rpt, 0.6);
+
+  // At local disk, read is a small fraction (paper: ~20 %).
+  auto local_read = cfg_for(LoaderKind::kPyTorch, sim::presets::local_disk());
+  local_read.stage = Stage::kRead;
+  auto local_full = cfg_for(LoaderKind::kPyTorch, sim::presets::local_disk());
+  double lr = run_scenario(local_read).duration_s;
+  double lf = run_scenario(local_full).duration_s;
+  EXPECT_LT(lr / lf, 0.5);
+}
+
+TEST(EvalModels, LossCurveRecordedAndDecreasing) {
+  auto cfg = cfg_for(LoaderKind::kEmlio, sim::presets::lan_10ms());
+  cfg.record_loss_curve = true;
+  cfg.loss.noise_stddev = 0.0;
+  auto r = run_scenario(cfg);
+  ASSERT_GT(r.loss_curve.size(), 10u);
+  EXPECT_GT(r.loss_curve.front().second, r.loss_curve.back().second);
+  // Timestamps strictly increase.
+  for (std::size_t i = 1; i < r.loss_curve.size(); ++i) {
+    EXPECT_GT(r.loss_curve[i].first, r.loss_curve[i - 1].first);
+  }
+}
+
+TEST(EvalModels, EmlioConvergesFasterInWallClock) {
+  // Figure 11: same sample count, but EMLIO reaches any loss level earlier.
+  auto mk = [&](LoaderKind k) {
+    auto cfg = centralized(k, workload::presets::coco_10gb(), train::presets::resnet50(),
+                           sim::presets::lan_10ms());
+    cfg.dataset.num_samples /= 10;
+    cfg.record_loss_curve = true;
+    cfg.loss.noise_stddev = 0.0;
+    return run_scenario(cfg);
+  };
+  auto emlio = mk(LoaderKind::kEmlio);
+  auto dali = mk(LoaderKind::kDali);
+  EXPECT_LT(emlio.duration_s * 3, dali.duration_s);
+  EXPECT_NEAR(emlio.loss_curve.back().second, dali.loss_curve.back().second, 0.05);
+}
+
+TEST(EvalModels, EnergyRecordingProducesTsdbTrace) {
+  tsdb::Database db;
+  auto cfg = cfg_for(LoaderKind::kEmlio, sim::presets::lan_01ms());
+  cfg.record_energy_to = &db;
+  auto r = run_scenario(cfg);
+  tsdb::Query q;
+  q.measurement = "energy";
+  auto agg = db.aggregate(q, "cpu_energy");
+  EXPECT_GT(agg.count, 100u);  // 100 ms samples over the epoch
+  EXPECT_NEAR(agg.sum, r.total.cpu_joules, r.total.cpu_joules * 0.02);
+}
+
+TEST(ScenarioHelpers, FigureTableRendersAndJson) {
+  FigureTable table("fig5", "test table");
+  FigureRow row;
+  row.regime = "lan_10ms";
+  row.method = "EMLIO";
+  row.result.duration_s = 156.5;
+  row.result.total.cpu_joules = 9900;
+  row.paper_duration_s = 156.5;
+  table.add(row);
+  auto text = table.render();
+  EXPECT_NE(text.find("fig5"), std::string::npos);
+  EXPECT_NE(text.find("EMLIO"), std::string::npos);
+  auto j = table.to_json();
+  EXPECT_EQ(j.at("rows").as_array().size(), 1u);
+  EXPECT_DOUBLE_EQ(j.at("rows").as_array()[0].at("duration_s").as_double(), 156.5);
+}
+
+// ---------------------------------------------------------- §6 extensions
+
+TEST(FutureWork, RdmaFasterAndCheaperWhenSerializeBound) {
+  auto mk = [](Fabric fabric) {
+    auto cfg = centralized(LoaderKind::kEmlio, workload::presets::synthetic_2mb(),
+                           train::presets::resnet50_synthetic(), sim::presets::wan_30ms());
+    cfg.params.batch_size = 32;
+    cfg.params.emlio_daemon_threads = 1;
+    cfg.fabric = fabric;
+    return run_scenario(cfg);
+  };
+  auto tcp = mk(Fabric::kTcpZmq);
+  auto rdma = mk(Fabric::kRdma);
+  auto nvmeof = mk(Fabric::kNvmeOf);
+  EXPECT_LT(rdma.duration_s, tcp.duration_s * 0.8);
+  EXPECT_LT(rdma.total.cpu_joules, tcp.total.cpu_joules);
+  EXPECT_LT(nvmeof.duration_s, rdma.duration_s * 1.05);  // no serialize stage at all
+}
+
+TEST(FutureWork, FabricsIrrelevantWhenTrainBound) {
+  auto mk = [](Fabric fabric) {
+    auto ds = workload::presets::imagenet_10gb();
+    ds.num_samples /= 10;
+    auto cfg = centralized(LoaderKind::kEmlio, ds, train::presets::resnet50(),
+                           sim::presets::lan_01ms());
+    cfg.fabric = fabric;
+    return run_scenario(cfg).duration_s;
+  };
+  // The GPU is the bottleneck on ImageNet: fabric choice must not matter.
+  EXPECT_NEAR(mk(Fabric::kRdma) / mk(Fabric::kTcpZmq), 1.0, 0.02);
+}
+
+TEST(FutureWork, NvmeOfStaysRttFlat) {
+  auto mk = [](const sim::NetworkRegime& regime) {
+    auto ds = workload::presets::imagenet_10gb();
+    ds.num_samples /= 10;
+    auto cfg = centralized(LoaderKind::kEmlio, ds, train::presets::resnet50(), regime);
+    cfg.fabric = Fabric::kNvmeOf;
+    return run_scenario(cfg).duration_s;
+  };
+  EXPECT_NEAR(mk(sim::presets::wan_30ms()) / mk(sim::presets::lan_01ms()), 1.0, 0.05);
+}
+
+TEST(FutureWork, LlmTextWorkloadMagnifiesEmlioAdvantage) {
+  auto mk = [](LoaderKind kind) {
+    auto ds = workload::presets::llm_text_10gb();
+    ds.num_samples /= 25;  // keep the per-sample DALI model fast in tests
+    auto cfg = centralized(kind, ds, train::presets::resnet50(), sim::presets::lan_10ms());
+    cfg.model.gpu_train_per_sample = from_micros(60);
+    cfg.params.batch_size = 512;
+    return run_scenario(cfg).duration_s;
+  };
+  // Tiny files → per-file loading is pure round trips; EMLIO wins big.
+  EXPECT_GT(mk(LoaderKind::kDali) / mk(LoaderKind::kEmlio), 20.0);
+}
+
+TEST(ScenarioHelpers, EmlioSpreadComputed) {
+  FigureTable table("x", "spread");
+  for (double d : {100.0, 104.0, 102.0}) {
+    FigureRow row;
+    row.regime = "r";
+    row.method = "EMLIO";
+    row.result.duration_s = d;
+    table.add(row);
+  }
+  EXPECT_NEAR(table.emlio_duration_spread(), 0.04, 1e-9);
+}
+
+}  // namespace
+}  // namespace emlio::eval

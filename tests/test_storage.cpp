@@ -1,0 +1,116 @@
+// Tests for the storage read-cost models and file stores.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/clock.h"
+#include "storage/file_store.h"
+#include "storage/read_cost.h"
+
+namespace emlio::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(LocalDiskModel, LatencyPlusBandwidth) {
+  LocalDiskModel disk;
+  disk.bytes_per_sec = 1e6;
+  disk.request_latency = from_millis(1);
+  EXPECT_EQ(disk.read_time(1'000'000), from_millis(1) + from_seconds(1));
+}
+
+TEST(NfsModel, RoundTripsGrowWithFileSize) {
+  NfsModel nfs;
+  nfs.rsize = 1 << 20;
+  nfs.metadata_round_trips = 2.0;
+  EXPECT_DOUBLE_EQ(nfs.round_trips(100'000), 3.0);       // 1 chunk
+  EXPECT_DOUBLE_EQ(nfs.round_trips(2'000'000), 4.0);     // 2 chunks
+  EXPECT_DOUBLE_EQ(nfs.round_trips(10 << 20), 12.0);     // 10 chunks
+}
+
+TEST(NfsModel, ReadTimeScalesWithRtt) {
+  NfsModel nfs;
+  nfs.rtt_ms = 10.0;
+  Nanos at10 = nfs.read_time(100'000);
+  nfs.rtt_ms = 30.0;
+  Nanos at30 = nfs.read_time(100'000);
+  // 3 round trips → +20 ms per extra RTT step ×3.
+  EXPECT_NEAR(to_seconds(at30 - at10), 0.060, 0.001);
+}
+
+TEST(NfsModel, RttDominatesSmallFiles) {
+  NfsModel nfs;
+  nfs.rtt_ms = 30.0;
+  // A 0.1 MB ImageNet sample: ~90 ms of RTT vs ~0.3 ms of wire time — the
+  // Figure-5 effect in one assertion.
+  Nanos t = nfs.read_time(100'000);
+  EXPECT_GT(to_seconds(t), 0.090);
+  EXPECT_LT(to_seconds(t), 0.095);
+}
+
+class FileStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / ("emlio_store_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+    std::ofstream f(dir_ / "data.bin", std::ios::binary);
+    for (int i = 0; i < 1000; ++i) f.put(static_cast<char>(i % 251));
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+TEST_F(FileStoreTest, LocalReadsWholeFile) {
+  LocalFileStore store;
+  auto bytes = store.read_file((dir_ / "data.bin").string());
+  ASSERT_EQ(bytes.size(), 1000u);
+  EXPECT_EQ(bytes[0], 0);
+  EXPECT_EQ(bytes[999], 999 % 251);
+  EXPECT_EQ(store.file_size((dir_ / "data.bin").string()), 1000u);
+}
+
+TEST_F(FileStoreTest, LocalMissingFileThrows) {
+  LocalFileStore store;
+  EXPECT_THROW(store.read_file((dir_ / "nope").string()), std::runtime_error);
+  EXPECT_THROW(store.file_size((dir_ / "nope").string()), std::runtime_error);
+}
+
+TEST_F(FileStoreTest, LatencyStoreInjectsWait) {
+  auto inner = std::make_shared<LocalFileStore>();
+  LatencyFileStore::Options opt;
+  opt.rtt_ms = 5.0;
+  opt.metadata_ops = 2.0;
+  opt.chunk_bytes = 1 << 20;
+  LatencyFileStore store(inner, opt);
+
+  Stopwatch sw(SteadyClock::instance());
+  auto bytes = store.read_file((dir_ / "data.bin").string());
+  EXPECT_EQ(bytes.size(), 1000u);
+  // 2 metadata ops + 1 chunk = 3 RTTs = 15 ms minimum.
+  EXPECT_GE(sw.elapsed(), from_millis(14.0));
+  EXPECT_GE(store.injected_wait(), from_millis(15.0) - from_millis(1.0));
+}
+
+TEST_F(FileStoreTest, LatencyScalesWithChunks) {
+  auto inner = std::make_shared<LocalFileStore>();
+  LatencyFileStore::Options opt;
+  opt.rtt_ms = 1.0;
+  opt.metadata_ops = 0.0;
+  opt.chunk_bytes = 100;  // 1000-byte file → 10 chunks
+  LatencyFileStore store(inner, opt);
+  store.read_file((dir_ / "data.bin").string());
+  EXPECT_GE(store.injected_wait(), from_millis(9.5));
+}
+
+TEST_F(FileStoreTest, StatCostsOneRtt) {
+  auto inner = std::make_shared<LocalFileStore>();
+  LatencyFileStore::Options opt;
+  opt.rtt_ms = 3.0;
+  LatencyFileStore store(inner, opt);
+  EXPECT_EQ(store.file_size((dir_ / "data.bin").string()), 1000u);
+  EXPECT_GE(store.injected_wait(), from_millis(2.5));
+}
+
+}  // namespace
+}  // namespace emlio::storage

@@ -1,0 +1,166 @@
+// Tests for the embedded time-series database and line protocol.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "tsdb/line_protocol.h"
+#include "tsdb/tsdb.h"
+
+namespace emlio::tsdb {
+namespace {
+
+Point make_point(const std::string& node, Nanos ts, double cpu, double gpu = 0.0) {
+  Point p;
+  p.measurement = "energy";
+  p.tags["node_id"] = node;
+  p.fields["cpu_energy"] = cpu;
+  if (gpu > 0) p.fields["gpu_energy"] = gpu;
+  p.timestamp = ts;
+  return p;
+}
+
+TEST(Tsdb, WriteAndSelectByRange) {
+  Database db;
+  for (int i = 0; i < 10; ++i) db.write(make_point("n0", i * 100, i));
+  Query q;
+  q.measurement = "energy";
+  q.start = 200;
+  q.end = 500;
+  auto rows = db.select(q);
+  ASSERT_EQ(rows.size(), 3u);  // ts 200, 300, 400
+  EXPECT_EQ(rows.front().timestamp, 200);
+  EXPECT_EQ(rows.back().timestamp, 400);
+}
+
+TEST(Tsdb, TagFilterSelectsSeries) {
+  Database db;
+  db.write(make_point("a", 1, 1.0));
+  db.write(make_point("b", 2, 2.0));
+  Query q;
+  q.measurement = "energy";
+  q.tag_filter["node_id"] = "b";
+  auto rows = db.select(q);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].tags.at("node_id"), "b");
+}
+
+TEST(Tsdb, AggregateSumMeanMinMax) {
+  Database db;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) {
+    db.write(make_point("n0", static_cast<Nanos>(v), v));
+  }
+  Query q;
+  q.measurement = "energy";
+  auto agg = db.aggregate(q, "cpu_energy");
+  EXPECT_EQ(agg.count, 4u);
+  EXPECT_DOUBLE_EQ(agg.sum, 10.0);
+  EXPECT_DOUBLE_EQ(agg.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(agg.min, 1.0);
+  EXPECT_DOUBLE_EQ(agg.max, 4.0);
+  EXPECT_DOUBLE_EQ(db.sum(q, "cpu_energy"), 10.0);
+}
+
+TEST(Tsdb, AggregateMissingFieldIsEmpty) {
+  Database db;
+  db.write(make_point("n0", 1, 5.0));
+  Query q;
+  q.measurement = "energy";
+  auto agg = db.aggregate(q, "gpu_energy");
+  EXPECT_EQ(agg.count, 0u);
+  EXPECT_EQ(agg.sum, 0.0);
+}
+
+TEST(Tsdb, OutOfOrderWritesAreSorted) {
+  Database db;
+  db.write(make_point("n0", 300, 3));
+  db.write(make_point("n0", 100, 1));
+  db.write(make_point("n0", 200, 2));
+  Query q;
+  q.measurement = "energy";
+  auto rows = db.select(q);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].timestamp, 100);
+  EXPECT_EQ(rows[1].timestamp, 200);
+  EXPECT_EQ(rows[2].timestamp, 300);
+}
+
+TEST(Tsdb, TagValuesEnumeratesNodes) {
+  Database db;
+  db.write(make_point("n1", 1, 1));
+  db.write(make_point("n0", 1, 1));
+  db.write(make_point("n1", 2, 2));
+  auto nodes = db.tag_values("energy", "node_id");
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[0], "n0");
+  EXPECT_EQ(nodes[1], "n1");
+  EXPECT_TRUE(db.tag_values("missing", "node_id").empty());
+}
+
+TEST(Tsdb, BatchWriteAndCount) {
+  Database db;
+  std::vector<Point> batch;
+  for (int i = 0; i < 64; ++i) batch.push_back(make_point("n0", i, i));
+  db.write_points(std::move(batch));
+  EXPECT_EQ(db.total_points(), 64u);
+  db.clear();
+  EXPECT_EQ(db.total_points(), 0u);
+}
+
+TEST(Tsdb, DifferentMeasurementsIsolated) {
+  Database db;
+  Point p = make_point("n0", 1, 1);
+  p.measurement = "other";
+  db.write(p);
+  db.write(make_point("n0", 1, 2));
+  Query q;
+  q.measurement = "energy";
+  EXPECT_EQ(db.select(q).size(), 1u);
+}
+
+TEST(LineProtocol, FormatPoint) {
+  auto p = make_point("node 1", 123456789, 2.5);
+  auto line = to_line(p);
+  EXPECT_NE(line.find("energy,node_id=node\\ 1"), std::string::npos);
+  EXPECT_NE(line.find("cpu_energy=2.5"), std::string::npos);
+  EXPECT_NE(line.find(" 123456789"), std::string::npos);
+}
+
+TEST(LineProtocol, ParseRoundTrip) {
+  auto p = make_point("n=odd,name", 42, 1.25, 3.75);
+  auto back = from_line(to_line(p));
+  EXPECT_EQ(back, p);
+}
+
+TEST(LineProtocol, ParseErrors) {
+  EXPECT_THROW(from_line("just-a-measurement"), std::runtime_error);
+  EXPECT_THROW(from_line("m f=notanumber 1"), std::runtime_error);
+  EXPECT_THROW(from_line("m f=1 notatime"), std::runtime_error);
+  EXPECT_THROW(from_line("m,badtag f=1 1"), std::runtime_error);
+}
+
+TEST(LineProtocol, FileExportImport) {
+  namespace fs = std::filesystem;
+  auto dir = fs::temp_directory_path() / "emlio_tsdb_test";
+  fs::create_directories(dir);
+  auto path = (dir / "trace.lp").string();
+
+  Database db;
+  for (int i = 0; i < 20; ++i) db.write(make_point("n0", i * 10, i, i * 2.0));
+  Query all;
+  all.measurement = "energy";
+  export_file(db, all, path);
+
+  Database db2;
+  EXPECT_EQ(import_file(db2, path), 20u);
+  EXPECT_DOUBLE_EQ(db2.sum(all, "cpu_energy"), db.sum(all, "cpu_energy"));
+  EXPECT_DOUBLE_EQ(db2.sum(all, "gpu_energy"), db.sum(all, "gpu_energy"));
+  fs::remove_all(dir);
+}
+
+TEST(LineProtocol, ImportMissingFileThrows) {
+  Database db;
+  EXPECT_THROW(import_file(db, "/nonexistent/trace.lp"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace emlio::tsdb

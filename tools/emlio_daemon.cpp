@@ -1,0 +1,92 @@
+// emlio_daemon — standalone EMLIO storage daemon: serves the TFRecord
+// shards in a directory to one compute node over TCP. Pair with
+// emlio_receive in another process/terminal for a real two-process
+// deployment of the paper's architecture.
+//
+//   emlio_receive --port 5555 &            # start the compute side first
+//   emlio_daemon --data DIR --connect 127.0.0.1:5555 \
+//       [--batch 128] [--epochs 1] [--threads 2] [--streams 2] [--hwm 16]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/daemon.h"
+#include "core/planner.h"
+#include "net/push_pull.h"
+
+using namespace emlio;
+
+int main(int argc, char** argv) {
+  std::string data, connect_to = "127.0.0.1:5555";
+  std::size_t batch = 128, threads = 2, streams = 2, hwm = 16;
+  std::uint32_t epochs = 1;
+  std::uint64_t seed = 1234;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) std::exit(2);
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--data")) data = next();
+    else if (!std::strcmp(argv[i], "--connect")) connect_to = next();
+    else if (!std::strcmp(argv[i], "--batch")) batch = std::strtoul(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--epochs")) epochs = std::strtoul(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--threads")) threads = std::strtoul(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--streams")) streams = std::strtoul(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--hwm")) hwm = std::strtoul(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--seed")) seed = std::strtoull(next(), nullptr, 10);
+    else {
+      std::fprintf(stderr, "usage: emlio_daemon --data DIR --connect HOST:PORT "
+                           "[--batch B] [--epochs E] [--threads T] [--streams S] [--hwm H]\n");
+      return 2;
+    }
+  }
+  if (data.empty()) {
+    std::fprintf(stderr, "emlio_daemon: --data is required\n");
+    return 2;
+  }
+  auto colon = connect_to.find(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "emlio_daemon: --connect must be HOST:PORT\n");
+    return 2;
+  }
+  std::string host = connect_to.substr(0, colon);
+  auto port = static_cast<std::uint16_t>(std::strtoul(connect_to.c_str() + colon + 1, nullptr, 10));
+
+  try {
+    auto indexes = tfrecord::load_all_indexes(data);
+    if (indexes.empty()) {
+      std::fprintf(stderr, "emlio_daemon: no shards in %s\n", data.c_str());
+      return 1;
+    }
+    core::PlannerConfig pc;
+    pc.batch_size = batch;
+    pc.epochs = epochs;
+    pc.threads_per_node = static_cast<std::uint32_t>(threads);
+    pc.seed = seed;
+    core::Planner planner(indexes, pc);
+    std::printf("emlio_daemon: %zu shards, %llu samples, B=%zu E=%u T=%zu -> %s\n",
+                indexes.size(), static_cast<unsigned long long>(planner.dataset_size()), batch,
+                epochs, threads, connect_to.c_str());
+
+    net::PushPullOptions opts;
+    opts.high_water_mark = hwm;
+    opts.num_streams = streams;
+    auto push = std::make_shared<net::PushSocket>(host, port, opts);
+
+    std::vector<tfrecord::ShardReader> readers;
+    for (const auto& idx : indexes) readers.emplace_back(idx);
+    std::map<std::uint32_t, std::shared_ptr<net::MessageSink>> sinks{{0u, push}};
+    core::Daemon daemon(core::DaemonConfig{"daemon0", false}, std::move(readers), sinks);
+    daemon.serve(planner, /*num_nodes=*/1);
+    push->close();
+    auto stats = daemon.stats();
+    std::printf("emlio_daemon: done — %llu batches, %llu samples, %.1f MB serialized\n",
+                static_cast<unsigned long long>(stats.batches_sent),
+                static_cast<unsigned long long>(stats.samples_sent),
+                static_cast<double>(stats.bytes_sent) / 1e6);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "emlio_daemon: %s\n", e.what());
+    return 1;
+  }
+}

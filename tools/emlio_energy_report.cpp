@@ -1,0 +1,55 @@
+// emlio_energy_report — load an InfluxDB line-protocol energy trace (as
+// written by the EnergyMonitor / examples) and print per-node aggregated
+// Joules over an optional time window.
+//
+//   emlio_energy_report TRACE.lp [--start NS] [--end NS]
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+#include "energy/report.h"
+#include "tsdb/line_protocol.h"
+
+using namespace emlio;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: emlio_energy_report TRACE.lp [--start NS] [--end NS]\n");
+    return 2;
+  }
+  std::string path = argv[1];
+  Nanos start = std::numeric_limits<Nanos>::min();
+  Nanos end = std::numeric_limits<Nanos>::max();
+  for (int i = 2; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) std::exit(2);
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--start")) start = std::strtoll(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--end")) end = std::strtoll(next(), nullptr, 10);
+  }
+
+  try {
+    tsdb::Database db;
+    std::size_t n = tsdb::import_file(db, path);
+    std::printf("loaded %zu points from %s\n", n, path.c_str());
+    if (start == std::numeric_limits<Nanos>::min()) {
+      // Default window: everything present.
+      tsdb::Query all;
+      all.measurement = "energy";
+      auto rows = db.select(all);
+      if (!rows.empty()) {
+        start = rows.front().timestamp;
+        end = rows.back().timestamp + 1;
+      }
+    }
+    auto report = energy::make_report(db, start, end);
+    std::printf("window [%lld, %lld) — %.2f s\n%s\n", static_cast<long long>(start),
+                static_cast<long long>(end), report.duration_seconds(),
+                report.to_string().c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "emlio_energy_report: %s\n", e.what());
+    return 1;
+  }
+}

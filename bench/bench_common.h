@@ -30,4 +30,16 @@ inline void finish(const eval::FigureTable& table) {
   eval::append_results(table, results_path());
 }
 
+/// Append one machine-readable JSON row to `path` and echo it to stdout —
+/// for micro-benches whose output is not a figure table.
+inline void append_json_line(const json::Value& row, const char* path = results_path()) {
+  std::string line = row.dump();
+  if (std::FILE* f = std::fopen(path, "a")) {
+    std::fputs(line.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+  std::printf("%s\n", line.c_str());
+}
+
 }  // namespace emlio::bench

@@ -1,23 +1,78 @@
 // google-benchmark microbenches for the hot paths: CRC32C, TFRecord framing
-// and slicing, msgpack batch encode/decode, and sample generation.
+// and slicing, msgpack batch encode/decode, and sample generation — plus a
+// decode-path allocation audit that quantifies the zero-copy Payload
+// refactor (per-sample heap allocations and bytes copied, view decode vs the
+// old materializing decode), appended as JSON via bench_common.h.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <filesystem>
+#include <new>
 
+#include "bench_common.h"
 #include "common/crc32c.h"
+#include "common/payload.h"
+#include "json/json.h"
 #include "msgpack/batch_codec.h"
 #include "tfrecord/reader.h"
 #include "workload/materialize.h"
 
+// ------------------------------------------------------------------------
+// Global allocation counters: every heap allocation in this binary is
+// tallied so the decode-path audit reports *measured* allocations, not
+// estimates. Benchmarks themselves are unaffected (counting is two relaxed
+// atomic adds).
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+std::atomic<std::uint64_t> g_heap_bytes{0};
+
+void* counted_alloc(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_heap_bytes.fetch_add(n, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
 using namespace emlio;
 
 namespace {
+
+struct HeapSnapshot {
+  std::uint64_t allocs;
+  std::uint64_t bytes;
+};
+
+HeapSnapshot heap_now() {
+  return {g_heap_allocs.load(std::memory_order_relaxed),
+          g_heap_bytes.load(std::memory_order_relaxed)};
+}
 
 std::vector<std::uint8_t> payload(std::size_t n) {
   std::vector<std::uint8_t> out(n);
   Rng rng(7);
   for (auto& b : out) b = static_cast<std::uint8_t>(rng());
   return out;
+}
+
+msgpack::WireBatch sample_batch(std::size_t samples, std::size_t bytes_each) {
+  msgpack::WireBatch batch;
+  for (std::size_t i = 0; i < samples; ++i) {
+    msgpack::WireSample s;
+    s.index = i;
+    s.label = static_cast<std::int64_t>(i);
+    s.bytes = payload(bytes_each);
+    batch.samples.push_back(std::move(s));
+  }
+  return batch;
 }
 
 void BM_Crc32c(benchmark::State& state) {
@@ -30,15 +85,8 @@ void BM_Crc32c(benchmark::State& state) {
 BENCHMARK(BM_Crc32c)->Arg(1024)->Arg(100 * 1024)->Arg(1024 * 1024);
 
 void BM_BatchEncode(benchmark::State& state) {
-  msgpack::WireBatch batch;
-  auto n = static_cast<std::size_t>(state.range(0));
-  for (std::size_t i = 0; i < n; ++i) {
-    msgpack::WireSample s;
-    s.index = i;
-    s.label = static_cast<std::int64_t>(i);
-    s.bytes = payload(100 * 1024);  // ImageNet-sized samples
-    batch.samples.push_back(std::move(s));
-  }
+  auto batch = sample_batch(static_cast<std::size_t>(state.range(0)),
+                            100 * 1024);  // ImageNet-sized samples
   for (auto _ : state) {
     benchmark::DoNotOptimize(msgpack::BatchCodec::encode(batch));
   }
@@ -47,15 +95,20 @@ void BM_BatchEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchEncode)->Arg(8)->Arg(32)->Arg(128);
 
-void BM_BatchDecode(benchmark::State& state) {
-  msgpack::WireBatch batch;
-  for (std::size_t i = 0; i < 32; ++i) {
-    msgpack::WireSample s;
-    s.index = i;
-    s.bytes = payload(static_cast<std::size_t>(state.range(0)));
-    batch.samples.push_back(std::move(s));
+void BM_BatchEncodePooled(benchmark::State& state) {
+  auto batch = sample_batch(static_cast<std::size_t>(state.range(0)), 100 * 1024);
+  auto pool = BufferPool::create();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(msgpack::BatchCodec::encode(batch, *pool));
   }
-  auto encoded = msgpack::BatchCodec::encode(batch);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.payload_bytes()));
+}
+BENCHMARK(BM_BatchEncodePooled)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_BatchDecode(benchmark::State& state) {
+  auto encoded =
+      msgpack::BatchCodec::encode(sample_batch(32, static_cast<std::size_t>(state.range(0))));
   for (auto _ : state) {
     benchmark::DoNotOptimize(msgpack::BatchCodec::decode(encoded));
   }
@@ -63,6 +116,22 @@ void BM_BatchDecode(benchmark::State& state) {
                           static_cast<std::int64_t>(encoded.size()));
 }
 BENCHMARK(BM_BatchDecode)->Arg(100 * 1024)->Arg(2 * 1024 * 1024);
+
+void BM_BatchDecodeMaterialized(benchmark::State& state) {
+  // The pre-refactor decode behaviour: one owned vector per sample. Kept as
+  // the baseline the zero-copy path is measured against.
+  auto encoded =
+      msgpack::BatchCodec::encode(sample_batch(32, static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    auto batch = msgpack::BatchCodec::decode(encoded);
+    for (auto& s : batch.samples) {
+      benchmark::DoNotOptimize(s.bytes.to_vector());
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(encoded.size()));
+}
+BENCHMARK(BM_BatchDecodeMaterialized)->Arg(100 * 1024)->Arg(2 * 1024 * 1024);
 
 void BM_TfrecordSlice(benchmark::State& state) {
   namespace fs = std::filesystem;
@@ -94,6 +163,64 @@ void BM_SampleGenerate(benchmark::State& state) {
 }
 BENCHMARK(BM_SampleGenerate);
 
+// ------------------------------------------------------------------------
+// Decode-path allocation audit. Measures, for one received batch:
+//   * view path (current): BatchCodec::decode — samples are refcounted
+//     views into the shared received Payload,
+//   * materialize path (pre-refactor equivalent): decode + one owned
+//     vector per sample.
+// Reports measured heap allocations/bytes and the payload layer's explicit
+// copy counter, then appends a JSON row through bench_common.h.
+json::Value audit_decode_path(std::size_t samples, std::size_t bytes_each) {
+  Payload encoded = msgpack::BatchCodec::encode(sample_batch(samples, bytes_each));
+
+  PayloadCounters::reset();
+  auto before_view = heap_now();
+  auto view_batch = msgpack::BatchCodec::decode(encoded);
+  auto after_view = heap_now();
+  std::size_t sharing = 0;
+  for (const auto& s : view_batch.samples) {
+    if (s.bytes.shares_storage_with(encoded)) ++sharing;
+  }
+  std::uint64_t view_payload_copies = PayloadCounters::bytes_copied.load();
+
+  PayloadCounters::reset();
+  auto before_mat = heap_now();
+  auto mat_batch = msgpack::BatchCodec::decode(encoded);
+  std::vector<std::vector<std::uint8_t>> owned;
+  owned.reserve(mat_batch.samples.size());
+  for (const auto& s : mat_batch.samples) owned.push_back(s.bytes.to_vector());
+  auto after_mat = heap_now();
+
+  json::Object row;
+  row["bench"] = "micro_codec_decode_path";
+  row["samples"] = static_cast<std::int64_t>(samples);
+  row["sample_bytes"] = static_cast<std::int64_t>(bytes_each);
+  row["encoded_bytes"] = static_cast<std::int64_t>(encoded.size());
+  json::Object view;
+  view["heap_allocs"] = static_cast<std::int64_t>(after_view.allocs - before_view.allocs);
+  view["heap_bytes"] = static_cast<std::int64_t>(after_view.bytes - before_view.bytes);
+  view["payload_bytes_copied"] = static_cast<std::int64_t>(view_payload_copies);
+  view["samples_sharing_received_storage"] = static_cast<std::int64_t>(sharing);
+  row["view_decode"] = json::Value(std::move(view));
+  json::Object mat;
+  mat["heap_allocs"] = static_cast<std::int64_t>(after_mat.allocs - before_mat.allocs);
+  mat["heap_bytes"] = static_cast<std::int64_t>(after_mat.bytes - before_mat.bytes);
+  row["materializing_decode"] = json::Value(std::move(mat));
+  return json::Value(std::move(row));
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::printf("\ndecode-path allocation audit (zero-copy view decode vs materializing "
+              "decode):\n");
+  bench::append_json_line(audit_decode_path(32, 100 * 1024));
+  bench::append_json_line(audit_decode_path(128, 16 * 1024));
+  return 0;
+}

@@ -57,7 +57,7 @@ int main() {
   // Receivers: each merges the two daemons' channels.
   struct MergedSource final : net::MessageSource {
     std::unique_ptr<net::MessageSource> a, b;
-    BoundedQueue<std::vector<std::uint8_t>> merged{64};
+    BoundedQueue<Payload> merged{64};
     std::thread ta, tb;
     std::atomic<int> open{2};
     MergedSource(std::unique_ptr<net::MessageSource> x, std::unique_ptr<net::MessageSource> y)
@@ -76,7 +76,7 @@ int main() {
       if (ta.joinable()) ta.join();
       if (tb.joinable()) tb.join();
     }
-    std::optional<std::vector<std::uint8_t>> recv() override { return merged.pop(); }
+    std::optional<Payload> recv() override { return merged.pop(); }
     void close() override {
       a->close();
       b->close();

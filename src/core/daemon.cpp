@@ -24,7 +24,8 @@ std::vector<std::uint32_t> Daemon::shard_ids() const {
 }
 
 DaemonStats Daemon::stats() const {
-  return DaemonStats{batches_sent_.load(), samples_sent_.load(), bytes_sent_.load()};
+  return DaemonStats{batches_sent_.load(), samples_sent_.load(), bytes_sent_.load(),
+                     pool_->stats()};
 }
 
 msgpack::WireBatch Daemon::build_batch(const BatchAssignment& a) const {
@@ -35,7 +36,9 @@ msgpack::WireBatch Daemon::build_batch(const BatchAssignment& a) const {
   batch.batch_id = a.batch_id;
   batch.node_id = a.node_id;
   batch.shard_id = a.shard_id;
-  // One contiguous slice: B records, zero-copy views into the mmap.
+  // One contiguous slice: B records, zero-copy views into the mmap. The
+  // WireSamples BORROW those views (the reader outlives the encode below),
+  // so the record bytes are touched exactly once: mmap → encoder output.
   auto views = reader.slice(a.first_record, a.count, config_.verify_crc);
   batch.samples.reserve(views.size());
   for (std::size_t i = 0; i < views.size(); ++i) {
@@ -43,7 +46,7 @@ msgpack::WireBatch Daemon::build_batch(const BatchAssignment& a) const {
     msgpack::WireSample s;
     s.index = entry.sample_index;
     s.label = entry.label;
-    s.bytes.assign(views[i].begin(), views[i].end());
+    s.bytes = views[i];
     batch.samples.push_back(std::move(s));
   }
   return batch;
@@ -61,7 +64,10 @@ void Daemon::send_worker(const WorkerPlan& worker, std::uint32_t epoch,
     if (readers_.find(a.shard_id) == readers_.end()) continue;  // another daemon's shard
     msgpack::WireBatch batch = build_batch(a);
     std::uint64_t nsamples = batch.samples.size();
-    std::vector<std::uint8_t> payload = msgpack::BatchCodec::encode(batch);
+    // Encode into a pooled buffer: the mmap'd record bytes are copied once,
+    // into the serialized message; the Payload handle then moves through the
+    // sink copy-free and the buffer recycles when the transport drops it.
+    Payload payload = msgpack::BatchCodec::encode(batch, *pool_);
     std::uint64_t nbytes = payload.size();
     if (timestamps_) timestamps_->record("batch_send", static_cast<std::int64_t>(a.batch_id));
     if (!sink.send(std::move(payload))) {

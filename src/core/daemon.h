@@ -35,6 +35,7 @@ struct DaemonStats {
   std::uint64_t batches_sent = 0;
   std::uint64_t samples_sent = 0;
   std::uint64_t bytes_sent = 0;  ///< serialized payload bytes
+  BufferPool::Stats encode_pool; ///< reuse behaviour of the encode buffers
 };
 
 class Daemon {
@@ -68,6 +69,9 @@ class Daemon {
   std::map<std::uint32_t, tfrecord::ShardReader> readers_;
   std::map<std::uint32_t, std::shared_ptr<net::MessageSink>> sinks_;
   TimestampLogger* timestamps_;
+  /// Encode buffers cycle through here: serialized, sent, recycled when the
+  /// transport (or receiver) drops the last reference.
+  std::shared_ptr<BufferPool> pool_ = BufferPool::create();
 
   std::atomic<std::uint64_t> batches_sent_{0};
   std::atomic<std::uint64_t> samples_sent_{0};

@@ -70,6 +70,9 @@ void Receiver::receive_loop() {
     if (!payload) break;  // transport closed
     msgpack::WireBatch batch;
     try {
+      // Zero-copy decode: every sample in `batch` is a view sharing
+      // ownership of `*payload`; the receive buffer lives (and its pool slot
+      // stays out) exactly until the consumer drops the batch.
       batch = msgpack::BatchCodec::decode(*payload);
     } catch (const std::exception& e) {
       log::error("receiver: undecodable payload (", e.what(), ")");

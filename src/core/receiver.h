@@ -47,8 +47,12 @@ class Receiver {
   Receiver(const Receiver&) = delete;
   Receiver& operator=(const Receiver&) = delete;
 
-  /// Next batch. A returned batch with last=true (and no samples) marks the
-  /// end of one epoch. Empty optional means the transport closed for good.
+  /// Next batch. Sample bytes are zero-copy views sharing ownership of the
+  /// received message buffer — hold the batch (or any of its samples) and
+  /// the buffer stays alive; drop it and the buffer frees or returns to the
+  /// transport's pool. A returned batch with last=true (and no samples)
+  /// marks the end of one epoch. Empty optional means the transport closed
+  /// for good.
   std::optional<msgpack::WireBatch> next();
 
   /// Stop receiving (unblocks next()). Idempotent.

@@ -48,7 +48,7 @@ void EmlioService::start() {
     // The receiver owns a thin forwarder over the pull socket.
     struct PullSource final : net::MessageSource {
       explicit PullSource(net::PullSocket* socket) : socket_(socket) {}
-      std::optional<std::vector<std::uint8_t>> recv() override { return socket_->recv(); }
+      std::optional<Payload> recv() override { return socket_->recv(); }
       void close() override { socket_->close(); }
       net::PullSocket* socket_;
     };

@@ -1,5 +1,6 @@
 #include "msgpack/batch_codec.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "msgpack/msgpack.h"
@@ -47,36 +48,119 @@ std::size_t BatchCodec::encode(const WireBatch& batch, ByteBuffer& out) {
   return out.size() - start;
 }
 
-std::vector<std::uint8_t> BatchCodec::encode(const WireBatch& batch) {
-  ByteBuffer buf(batch.payload_bytes() + 64 * batch.samples.size() + 128);
-  encode(batch, buf);
-  return buf.take();
+namespace {
+
+/// Rough upper bound of the encoded size: payload + per-sample msgpack
+/// overhead + map/key overhead. Used to size (pooled) encode buffers so the
+/// vector never reallocates mid-encode.
+std::size_t encoded_size_estimate(const WireBatch& batch) {
+  return batch.payload_bytes() + 64 * batch.samples.size() + 128;
 }
 
-WireBatch BatchCodec::decode(std::span<const std::uint8_t> bytes) {
-  Value root = msgpack::decode(bytes);
-  if (!root.is_map()) throw std::runtime_error("batch codec: payload is not a map");
-  if (root.at("v").as_uint() != kWireVersion) {
-    throw std::runtime_error("batch codec: unsupported wire version " +
-                             std::to_string(root.at("v").as_uint()));
+}  // namespace
+
+Payload BatchCodec::encode(const WireBatch& batch) {
+  ByteBuffer buf(encoded_size_estimate(batch));
+  encode(batch, buf);
+  return Payload(std::move(buf));
+}
+
+Payload BatchCodec::encode(const WireBatch& batch, BufferPool& pool) {
+  ByteBuffer buf = pool.acquire(encoded_size_estimate(batch));
+  encode(batch, buf);
+  return pool.seal(std::move(buf));
+}
+
+WireBatch BatchCodec::decode(PayloadView bytes) {
+  Decoder dec(bytes.view());
+  std::size_t num_keys;
+  try {
+    num_keys = dec.next_map_header();
+  } catch (const std::runtime_error&) {
+    throw std::runtime_error("batch codec: payload is not a map");
   }
+
+  // Probe the wire version before the strict schema parse: a newer sender's
+  // schema drift must surface as a version mismatch, not as whatever field
+  // error the drift happens to cause first. The probe only walks headers
+  // (skip_value materializes nothing), so it is cheap next to the parse.
+  {
+    Decoder probe(bytes.view());
+    probe.next_map_header();
+    for (std::size_t k = 0; k < num_keys; ++k) {
+      if (probe.next_string_view() == "v") {
+        std::uint64_t version = probe.next_uint();
+        if (version != kWireVersion) {
+          throw std::runtime_error("batch codec: unsupported wire version " +
+                                   std::to_string(version));
+        }
+        break;
+      }
+      probe.skip_value();
+    }
+  }
+
   WireBatch batch;
-  batch.epoch = static_cast<std::uint32_t>(root.at("epoch").as_uint());
-  batch.batch_id = root.at("batch").as_uint();
-  batch.node_id = static_cast<std::uint32_t>(root.at("node").as_uint());
-  batch.shard_id = static_cast<std::uint32_t>(root.at("shard").as_uint());
-  batch.last = root.at("last").as_bool();
-  batch.sent_count = root.at("nsent").as_uint();
-  const auto& samples = root.at("samples").as_array();
-  batch.samples.reserve(samples.size());
-  for (const auto& s : samples) {
-    const auto& tuple = s.as_array();
-    if (tuple.size() != 3) throw std::runtime_error("batch codec: sample tuple arity != 3");
-    WireSample ws;
-    ws.index = tuple[0].as_uint();
-    ws.label = tuple[1].as_int();
-    ws.bytes = tuple[2].as_bin();
-    batch.samples.push_back(std::move(ws));
+  std::uint64_t version = 0;
+  // Accept keys in any order; tolerate unknown keys (forward compatibility)
+  // but require every field of the v1 schema exactly once — a duplicated
+  // "samples" key must not concatenate into a double-sized batch.
+  bool have_v = false, have_epoch = false, have_batch = false, have_node = false,
+       have_shard = false, have_last = false, have_nsent = false, have_samples = false;
+  auto once = [](bool& have, std::string_view key) {
+    if (have) throw std::runtime_error("batch codec: duplicate key '" + std::string(key) + "'");
+    have = true;
+  };
+  for (std::size_t k = 0; k < num_keys; ++k) {
+    auto key = dec.next_string_view();
+    if (key == "v") {
+      version = dec.next_uint();
+      once(have_v, key);
+    } else if (key == "epoch") {
+      batch.epoch = static_cast<std::uint32_t>(dec.next_uint());
+      once(have_epoch, key);
+    } else if (key == "batch") {
+      batch.batch_id = dec.next_uint();
+      once(have_batch, key);
+    } else if (key == "node") {
+      batch.node_id = static_cast<std::uint32_t>(dec.next_uint());
+      once(have_node, key);
+    } else if (key == "shard") {
+      batch.shard_id = static_cast<std::uint32_t>(dec.next_uint());
+      once(have_shard, key);
+    } else if (key == "last") {
+      batch.last = dec.next_bool();
+      once(have_last, key);
+    } else if (key == "nsent") {
+      batch.sent_count = dec.next_uint();
+      once(have_nsent, key);
+    } else if (key == "samples") {
+      std::size_t n = dec.next_array_header();
+      batch.samples.reserve(std::min<std::size_t>(n, 1 << 16));
+      for (std::size_t i = 0; i < n; ++i) {
+        if (dec.next_array_header() != 3) {
+          throw std::runtime_error("batch codec: sample tuple arity != 3");
+        }
+        WireSample ws;
+        ws.index = dec.next_uint();
+        ws.label = dec.next_int();
+        // Zero-copy: the sample is a slice of the message, sharing whatever
+        // ownership the caller's view carries.
+        auto bin = dec.next_bin_view();
+        ws.bytes = bytes.slice(static_cast<std::size_t>(bin.data() - bytes.data()), bin.size());
+        batch.samples.push_back(std::move(ws));
+      }
+      once(have_samples, key);
+    } else {
+      dec.skip_value();
+    }
+  }
+  if (!(have_v && have_epoch && have_batch && have_node && have_shard && have_last &&
+        have_nsent && have_samples)) {
+    throw std::runtime_error("batch codec: missing required key");
+  }
+  if (version != kWireVersion) {
+    throw std::runtime_error("batch codec: unsupported wire version " + std::to_string(version));
   }
   return batch;
 }

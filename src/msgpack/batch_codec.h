@@ -27,15 +27,21 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/payload.h"
 
 namespace emlio::msgpack {
 
 /// One training example on the wire: raw encoded bytes plus label and the
 /// dataset-global sample index (for data-parallel bookkeeping).
+///
+/// `bytes` is a ref-counted PayloadView: on the encode path it is a borrowed
+/// slice of the mmap'd shard (no copy into the batch), and on the decode
+/// path it shares ownership of the received message buffer (no per-sample
+/// copy out of it).
 struct WireSample {
   std::uint64_t index = 0;
   std::int64_t label = 0;
-  std::vector<std::uint8_t> bytes;
+  PayloadView bytes;
 
   bool operator==(const WireSample&) const = default;
 };
@@ -58,17 +64,32 @@ struct WireBatch {
 };
 
 /// Encoder/decoder for WireBatch <-> msgpack bytes.
+///
+/// The wire format is byte-identical regardless of which encode/decode
+/// overload is used; only the ownership of the bytes differs.
 class BatchCodec {
  public:
   /// Serialize a batch into `out` (appended). Returns encoded size in bytes.
   static std::size_t encode(const WireBatch& batch, ByteBuffer& out);
 
-  /// Convenience: serialize into a fresh vector.
-  static std::vector<std::uint8_t> encode(const WireBatch& batch);
+  /// Serialize into a fresh ref-counted Payload (one copy: sample bytes →
+  /// message buffer; that is the serialization itself, not an extra hop).
+  static Payload encode(const WireBatch& batch);
 
-  /// Parse a batch. Throws std::runtime_error on schema violations and
-  /// std::out_of_range on truncated input.
-  static WireBatch decode(std::span<const std::uint8_t> bytes);
+  /// Serialize into a Payload backed by `pool` — the daemon's hot path. The
+  /// buffer returns to the pool when the last reference (transport queue,
+  /// receiver, decoded sample views) drops.
+  static Payload encode(const WireBatch& batch, BufferPool& pool);
+
+  /// Parse a batch with ZERO per-sample byte copies: each WireSample.bytes
+  /// is a slice of `bytes`. If `bytes` owns its storage (a Payload, or an
+  /// rvalue vector adopted into the view), the samples share that ownership
+  /// and may outlive the caller's handle; if `bytes` is borrowed (a span or
+  /// lvalue vector), the samples borrow too and are only valid while the
+  /// caller keeps the underlying buffer alive.
+  /// Throws std::runtime_error on schema violations and std::out_of_range on
+  /// truncated input.
+  static WireBatch decode(PayloadView bytes);
 
   /// Build the end-of-epoch sentinel for (node, epoch); `sent_count` is the
   /// number of data batches this sender shipped to that node this epoch.

@@ -105,6 +105,12 @@ class Encoder {
 };
 
 /// Streaming decoder over a byte span.
+///
+/// Two access styles share the cursor: next() builds an owning Value tree
+/// (convenient, copies strings/bins), while the typed next_* accessors below
+/// read one value each WITHOUT materializing anything — string/bin results
+/// are views into the input buffer. The batch codec uses the typed path so
+/// sample payloads decode as zero-copy slices of the received message.
 class Decoder {
  public:
   explicit Decoder(std::span<const std::uint8_t> bytes) : reader_(bytes) {}
@@ -113,6 +119,24 @@ class Decoder {
   /// input and std::out_of_range on truncation.
   Value next();
 
+  /// Typed streaming accessors: each consumes exactly one value and throws
+  /// std::runtime_error when the wire type does not match (std::out_of_range
+  /// on truncation). Integer accessors apply the same signed/unsigned
+  /// coercion rules as Value::as_int/as_uint.
+  bool next_bool();
+  std::uint64_t next_uint();
+  std::int64_t next_int();
+  /// View into the input buffer — valid while the input lives.
+  std::string_view next_string_view();
+  /// View into the input buffer — valid while the input lives.
+  std::span<const std::uint8_t> next_bin_view();
+  /// Reads an array header; caller then reads that many elements.
+  std::size_t next_array_header();
+  /// Reads a map header; caller then reads that many key/value pairs.
+  std::size_t next_map_header();
+  /// Skip one complete value of any type (unknown-key tolerance).
+  void skip_value();
+
   /// True when all input has been consumed.
   bool done() const { return reader_.exhausted(); }
 
@@ -120,6 +144,9 @@ class Decoder {
 
  private:
   Value decode_value(int depth);
+  void skip_value(int depth);
+  template <bool AsUint>
+  std::int64_t next_int_impl();
   ByteReader reader_;
 };
 

@@ -6,11 +6,19 @@
 // bandwidth (net/sim_channel.h). The EMLIO core is written against these
 // interfaces so the exact same daemon/receiver code runs over loopback TCP
 // in production and over the latency-injected channel in tests.
+//
+// Messages are ref-counted Payloads, and the interfaces are move-only on the
+// message: a send() transfers the handle into the transport and a recv()
+// transfers it out, so a payload crosses every in-process hop (send queue,
+// HWM queue, receiver queue) without its bytes ever being copied. The only
+// copy a transport may make is at a real socket boundary (kernel write/read).
+// Any future transport (UDS, shared memory) plugs in behind these same
+// Payload-based interfaces.
 #pragma once
 
-#include <cstdint>
 #include <optional>
-#include <vector>
+
+#include "common/payload.h"
 
 namespace emlio::net {
 
@@ -19,9 +27,14 @@ class MessageSink {
  public:
   virtual ~MessageSink() = default;
 
-  /// Send one message. Blocks while the transport is above its high-water
-  /// mark (backpressure). Returns false if the channel is closed.
-  virtual bool send(std::vector<std::uint8_t> message) = 0;
+  /// Send one message. The Payload is MOVED into the transport — no byte
+  /// copy happens at this boundary, and the caller's handle is consumed.
+  /// (Callers holding a raw buffer adopt it via `Payload(std::move(vec))`;
+  /// an intentional duplicate must go through Payload::copy_of so the copy
+  /// is visible at the call site.) Blocks while the transport is above its
+  /// high-water mark (backpressure). Returns false if the channel is closed;
+  /// the message is dropped in that case.
+  virtual bool send(Payload message) = 0;
 
   /// Flush and close. Further sends fail. Idempotent.
   virtual void close() = 0;
@@ -32,9 +45,10 @@ class MessageSource {
  public:
   virtual ~MessageSource() = default;
 
-  /// Receive the next message; empty optional when the channel is closed and
-  /// drained.
-  virtual std::optional<std::vector<std::uint8_t>> recv() = 0;
+  /// Receive the next message; the returned Payload is the transport's
+  /// buffer handed over by move (decode it in place — WireBatch views share
+  /// its ownership). Empty optional when the channel is closed and drained.
+  virtual std::optional<Payload> recv() = 0;
 
   /// Stop receiving and release resources. Idempotent.
   virtual void close() = 0;

@@ -18,7 +18,7 @@ void send_frame(TcpStream& stream, std::span<const std::uint8_t> payload) {
   stream.send_all(payload);
 }
 
-std::optional<std::vector<std::uint8_t>> recv_frame(TcpStream& stream) {
+std::optional<Payload> recv_frame(TcpStream& stream, BufferPool* pool) {
   std::uint8_t header[8];
   if (!stream.recv_all(std::span<std::uint8_t>(header, 8))) return std::nullopt;
   std::uint32_t magic = 0;
@@ -27,11 +27,19 @@ std::optional<std::vector<std::uint8_t>> recv_frame(TcpStream& stream) {
   std::memcpy(&length, header + 4, 4);
   if (magic != kFrameMagic) throw std::runtime_error("framing: bad magic");
   if (length > kMaxFrameBytes) throw std::runtime_error("framing: oversized frame");
+  if (pool) {
+    ByteBuffer buf = pool->acquire(length);
+    buf.resize(length);
+    if (length > 0 && !stream.recv_all(std::span<std::uint8_t>(buf.data(), length))) {
+      throw std::runtime_error("framing: EOF before payload");
+    }
+    return pool->seal(std::move(buf));
+  }
   std::vector<std::uint8_t> payload(length);
   if (length > 0 && !stream.recv_all(payload)) {
     throw std::runtime_error("framing: EOF before payload");
   }
-  return payload;
+  return Payload(std::move(payload));
 }
 
 }  // namespace emlio::net

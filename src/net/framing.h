@@ -10,8 +10,8 @@
 
 #include <cstdint>
 #include <optional>
-#include <vector>
 
+#include "common/payload.h"
 #include "net/socket.h"
 
 namespace emlio::net {
@@ -19,11 +19,17 @@ namespace emlio::net {
 inline constexpr std::uint32_t kFrameMagic = 0x454D4C31;  // "EML1"
 inline constexpr std::uint32_t kMaxFrameBytes = 1u << 30;  // 1 GiB sanity cap
 
-/// Write one framed message. Throws on socket errors.
+/// Write one framed message. Throws on socket errors. (A Payload converts to
+/// the span implicitly; the bytes go straight from the payload buffer to the
+/// kernel.)
 void send_frame(TcpStream& stream, std::span<const std::uint8_t> payload);
 
-/// Read one framed message; empty optional on clean EOF.
+/// Read one framed message into a ref-counted Payload; empty optional on
+/// clean EOF. This is the data plane's single receive-side copy (kernel →
+/// user buffer); everything downstream shares the returned Payload. When
+/// `pool` is given the buffer is pooled storage that recycles once the last
+/// reference (including decoded sample views) drops.
 /// Throws std::runtime_error on bad magic, oversized frame, or socket error.
-std::optional<std::vector<std::uint8_t>> recv_frame(TcpStream& stream);
+std::optional<Payload> recv_frame(TcpStream& stream, BufferPool* pool = nullptr);
 
 }  // namespace emlio::net

@@ -11,8 +11,7 @@ PushSocket::PushSocket(const std::string& host, std::uint16_t port, PushPullOpti
   for (std::size_t i = 0; i < n; ++i) {
     Stream s;
     s.tcp = TcpStream::connect(host, port);
-    s.queue =
-        std::make_unique<BoundedQueue<std::vector<std::uint8_t>>>(options.high_water_mark);
+    s.queue = std::make_unique<BoundedQueue<Payload>>(options.high_water_mark);
     streams_.push_back(std::move(s));
   }
   // Start senders only after every connect succeeded, so a failed constructor
@@ -24,7 +23,7 @@ PushSocket::PushSocket(const std::string& host, std::uint16_t port, PushPullOpti
 
 PushSocket::~PushSocket() { close(); }
 
-bool PushSocket::send(std::vector<std::uint8_t> message) {
+bool PushSocket::send(Payload message) {
   if (closed_.load(std::memory_order_acquire)) return false;
   std::size_t idx = next_stream_.fetch_add(1, std::memory_order_relaxed) % streams_.size();
   if (!streams_[idx].queue->push(std::move(message))) return false;
@@ -56,13 +55,17 @@ void PushSocket::sender_loop(Stream& stream) {
 }
 
 PullSocket::PullSocket(std::uint16_t port, std::size_t queue_capacity)
-    : listener_(port), queue_(queue_capacity) {
+    : listener_(port),
+      // Pool a few more buffers than the queue holds so readers mid-recv and
+      // consumers mid-decode don't force fresh allocations.
+      pool_(BufferPool::create(queue_capacity + 8)),
+      queue_(queue_capacity) {
   acceptor_ = std::thread([this] { accept_loop(); });
 }
 
 PullSocket::~PullSocket() { close(); }
 
-std::optional<std::vector<std::uint8_t>> PullSocket::recv() {
+std::optional<Payload> PullSocket::recv() {
   auto msg = queue_.pop();
   if (msg) received_.fetch_add(1, std::memory_order_relaxed);
   return msg;
@@ -96,7 +99,7 @@ void PullSocket::accept_loop() {
 void PullSocket::reader_loop(TcpStream stream) {
   try {
     for (;;) {
-      auto frame = recv_frame(stream);
+      auto frame = recv_frame(stream, pool_.get());
       if (!frame) return;  // peer finished
       if (!queue_.push(std::move(*frame))) return;  // socket closed locally
     }

@@ -38,7 +38,9 @@ class PushSocket final : public MessageSink {
   PushSocket(const std::string& host, std::uint16_t port, PushPullOptions options = {});
   ~PushSocket() override;
 
-  bool send(std::vector<std::uint8_t> message) override;
+  /// Moves the payload into the selected stream's queue; bytes are not
+  /// copied until the sender thread writes them to the kernel.
+  bool send(Payload message) override;
 
   /// Drain queues, flush streams, close connections, join sender threads.
   void close() override;
@@ -49,7 +51,7 @@ class PushSocket final : public MessageSink {
  private:
   struct Stream {
     TcpStream tcp;
-    std::unique_ptr<BoundedQueue<std::vector<std::uint8_t>>> queue;
+    std::unique_ptr<BoundedQueue<Payload>> queue;
     std::thread sender;
   };
   void sender_loop(Stream& stream);
@@ -71,7 +73,10 @@ class PullSocket final : public MessageSource {
   explicit PullSocket(std::uint16_t port, std::size_t queue_capacity = 64);
   ~PullSocket() override;
 
-  std::optional<std::vector<std::uint8_t>> recv() override;
+  /// Hands out the reader's pooled receive buffer by move; the buffer
+  /// recycles into this socket's BufferPool when the consumer (and any
+  /// decoded sample views) drop it.
+  std::optional<Payload> recv() override;
 
   void close() override;
 
@@ -82,12 +87,16 @@ class PullSocket final : public MessageSource {
     return received_.load(std::memory_order_relaxed);
   }
 
+  /// Receive-buffer pool statistics (observability / tests).
+  BufferPool::Stats pool_stats() const { return pool_->stats(); }
+
  private:
   void accept_loop();
   void reader_loop(TcpStream stream);
 
   TcpListener listener_;
-  BoundedQueue<std::vector<std::uint8_t>> queue_;
+  std::shared_ptr<BufferPool> pool_;
+  BoundedQueue<Payload> queue_;
   std::thread acceptor_;
   std::mutex readers_mutex_;
   std::vector<std::thread> readers_;

@@ -19,7 +19,7 @@ class LinkState : public SimLinkControl {
   explicit LinkState(const SimLinkConfig& config)
       : config_(config), rng_(config.seed), clock_(SteadyClock::instance()) {}
 
-  bool send(std::vector<std::uint8_t> message) {
+  bool send(Payload message) {
     std::unique_lock<std::mutex> lock(mutex_);
     not_full_.wait(lock, [&] { return in_flight_.size() < config_.high_water_mark || closed_; });
     if (closed_) return false;
@@ -44,7 +44,7 @@ class LinkState : public SimLinkControl {
     return true;
   }
 
-  std::optional<std::vector<std::uint8_t>> recv() {
+  std::optional<Payload> recv() {
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
       not_empty_.wait(lock, [&] { return !in_flight_.empty() || closed_; });
@@ -82,7 +82,7 @@ class LinkState : public SimLinkControl {
  private:
   struct Message {
     Nanos ready_at;
-    std::vector<std::uint8_t> bytes;
+    Payload bytes;
   };
 
   SimLinkConfig config_;
@@ -102,7 +102,7 @@ class SimSink final : public MessageSink {
  public:
   explicit SimSink(std::shared_ptr<LinkState> state) : state_(std::move(state)) {}
   ~SimSink() override { close(); }
-  bool send(std::vector<std::uint8_t> message) override { return state_->send(std::move(message)); }
+  bool send(Payload message) override { return state_->send(std::move(message)); }
   void close() override { state_->close(); }
 
  private:
@@ -113,7 +113,7 @@ class SimSource final : public MessageSource {
  public:
   explicit SimSource(std::shared_ptr<LinkState> state) : state_(std::move(state)) {}
   ~SimSource() override = default;
-  std::optional<std::vector<std::uint8_t>> recv() override { return state_->recv(); }
+  std::optional<Payload> recv() override { return state_->recv(); }
   void close() override { state_->close(); }
 
  private:

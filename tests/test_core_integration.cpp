@@ -201,12 +201,12 @@ struct ScriptedSource final : net::MessageSource {
   explicit ScriptedSource(std::vector<msgpack::WireBatch> batches) {
     for (auto& b : batches) script.push_back(msgpack::BatchCodec::encode(b));
   }
-  std::optional<std::vector<std::uint8_t>> recv() override {
+  std::optional<Payload> recv() override {
     if (pos >= script.size()) return std::nullopt;
-    return script[pos++];
+    return script[pos++];  // refcount bump, not a byte copy
   }
   void close() override {}
-  std::vector<std::vector<std::uint8_t>> script;
+  std::vector<Payload> script;
   std::size_t pos = 0;
 };
 
@@ -281,6 +281,75 @@ TEST(ReceiverOrdering, TwoSendersBothSentinelsRequired) {
   EXPECT_TRUE(receiver.next()->last);  // only after BOTH sentinels + all data
 }
 
+TEST(ReceiverOrdering, SentinelFirstEntirelyBeforeData) {
+  // Extreme overtaking: the sentinel beats EVERY data batch of its epoch.
+  // The epoch marker must still be emitted only after the nsent accounted
+  // batches have all been delivered.
+  std::vector<msgpack::WireBatch> script;
+  script.push_back(msgpack::BatchCodec::make_sentinel(0, 0, /*sent_count=*/2));
+  script.push_back(data_batch(0, 0));
+  script.push_back(data_batch(0, 1));
+
+  ReceiverConfig rc;
+  rc.num_senders = 1;
+  Receiver receiver(rc, std::make_unique<ScriptedSource>(std::move(script)));
+  EXPECT_FALSE(receiver.next()->last);
+  EXPECT_FALSE(receiver.next()->last);
+  auto marker = receiver.next();
+  ASSERT_TRUE(marker.has_value());
+  EXPECT_TRUE(marker->last);
+  EXPECT_EQ(receiver.stats().epochs_completed, 1u);
+}
+
+TEST(ReceiverOrdering, BothSendersSentinelsOvertakeAllData) {
+  // Two parallel senders, both sentinels arrive before any data (worst-case
+  // multi-stream reordering), and epoch-1 data overtakes epoch 0's tail too.
+  std::vector<msgpack::WireBatch> script;
+  script.push_back(msgpack::BatchCodec::make_sentinel(0, 0, 1));  // sender A epoch 0
+  script.push_back(msgpack::BatchCodec::make_sentinel(0, 0, 2));  // sender B epoch 0
+  script.push_back(data_batch(1, 10));  // epoch 1 overtakes: must be held
+  script.push_back(data_batch(0, 0));
+  script.push_back(data_batch(0, 1));
+  script.push_back(data_batch(0, 2));
+  script.push_back(msgpack::BatchCodec::make_sentinel(0, 1, 1));  // sender A epoch 1
+  script.push_back(msgpack::BatchCodec::make_sentinel(0, 1, 0));  // sender B epoch 1
+
+  ReceiverConfig rc;
+  rc.num_senders = 2;
+  Receiver receiver(rc, std::make_unique<ScriptedSource>(std::move(script)));
+  std::vector<std::pair<std::uint32_t, bool>> order;
+  for (int i = 0; i < 6; ++i) {
+    auto b = receiver.next();
+    ASSERT_TRUE(b.has_value());
+    order.emplace_back(b->epoch, b->last);
+  }
+  std::vector<std::pair<std::uint32_t, bool>> want{
+      {0, false}, {0, false}, {0, false}, {0, true}, {1, false}, {1, true}};
+  EXPECT_EQ(order, want);
+  EXPECT_EQ(receiver.stats().epochs_completed, 2u);
+}
+
+TEST(ReceiverOrdering, BatchesOutliveReceiverViaSharedOwnership) {
+  // The decoded samples are views sharing the received payload's refcount:
+  // a batch kept by the consumer must stay valid after the receiver (and its
+  // source, which owned the encoded payloads) is destroyed.
+  msgpack::WireBatch held;
+  {
+    std::vector<msgpack::WireBatch> script;
+    script.push_back(data_batch(0, 0));
+    script.push_back(msgpack::BatchCodec::make_sentinel(0, 0, 1));
+    ReceiverConfig rc;
+    rc.num_senders = 1;
+    Receiver receiver(rc, std::make_unique<ScriptedSource>(std::move(script)));
+    auto b = receiver.next();
+    ASSERT_TRUE(b.has_value());
+    held = std::move(*b);
+  }  // receiver + scripted payloads destroyed here
+  ASSERT_EQ(held.samples.size(), 1u);
+  EXPECT_TRUE(held.samples[0].bytes.owns_storage());
+  EXPECT_EQ(held.samples[0].bytes, (PayloadView{1, 2, 3}));
+}
+
 TEST(ReceiverOrdering, UndecodablePayloadCountedNotFatal) {
   std::vector<msgpack::WireBatch> script;
   script.push_back(data_batch(0, 0));
@@ -318,7 +387,7 @@ TEST_F(CoreIntegrationTest, TwoDaemonsOneReceiverSentinelAggregation) {
   // Receiver merging two sources: use a small adapter multiplexing both.
   struct DualSource final : net::MessageSource {
     std::unique_ptr<net::MessageSource> a, b;
-    BoundedQueue<std::vector<std::uint8_t>> merged{64};
+    BoundedQueue<Payload> merged{64};
     std::thread ta, tb;
     DualSource(std::unique_ptr<net::MessageSource> x, std::unique_ptr<net::MessageSource> y)
         : a(std::move(x)), b(std::move(y)) {
@@ -340,7 +409,7 @@ TEST_F(CoreIntegrationTest, TwoDaemonsOneReceiverSentinelAggregation) {
       if (ta.joinable()) ta.join();
       if (tb.joinable()) tb.join();
     }
-    std::optional<std::vector<std::uint8_t>> recv() override { return merged.pop(); }
+    std::optional<Payload> recv() override { return merged.pop(); }
     void close() override {
       a->close();
       b->close();

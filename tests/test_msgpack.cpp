@@ -165,8 +165,9 @@ msgpack::WireBatch make_batch(std::size_t samples, std::size_t bytes_each) {
     WireSample s;
     s.index = 1000 + i;
     s.label = static_cast<std::int64_t>(i % 10);
-    s.bytes.resize(bytes_each);
-    for (auto& x : s.bytes) x = static_cast<std::uint8_t>(rng());
+    std::vector<std::uint8_t> payload(bytes_each);
+    for (auto& x : payload) x = static_cast<std::uint8_t>(rng());
+    s.bytes = std::move(payload);
     b.samples.push_back(std::move(s));
   }
   return b;
@@ -229,6 +230,175 @@ TEST(BatchCodec, LargeSampleRoundTrip) {
   auto decoded = BatchCodec::decode(BatchCodec::encode(b));
   EXPECT_EQ(decoded.samples[0].bytes.size(), 2'000'000u);
   EXPECT_EQ(decoded, b);
+}
+
+TEST(BatchCodec, RejectsTruncationAtEveryPrefixLength) {
+  // Property: EVERY strict prefix of a valid encoding must throw (truncation
+  // is detected wherever the cut lands: mid-header, mid-key, mid-bin).
+  auto payload = BatchCodec::encode(make_batch(3, 50));
+  auto bytes = payload.to_vector();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::span<const std::uint8_t> prefix(bytes.data(), len);
+    EXPECT_THROW(BatchCodec::decode(prefix), std::exception) << "prefix length " << len;
+  }
+  // The full message still decodes.
+  EXPECT_NO_THROW(BatchCodec::decode(payload));
+}
+
+TEST(BatchCodec, RejectsMalformedSchemaVariants) {
+  auto base = decode(BatchCodec::encode(make_batch(2, 8))).as_map();
+
+  auto corrupted = [&](auto&& mutate) {
+    Map m = base;
+    mutate(m);
+    return encode(Value(m));
+  };
+
+  // Root is not a map.
+  EXPECT_THROW(BatchCodec::decode(encode(Value(std::int64_t(7)))), std::runtime_error);
+  // Field with the wrong wire type.
+  EXPECT_THROW(BatchCodec::decode(corrupted([](Map& m) { m["epoch"] = Value("not-a-uint"); })),
+               std::runtime_error);
+  EXPECT_THROW(BatchCodec::decode(corrupted([](Map& m) { m["last"] = Value(std::int64_t(1)); })),
+               std::runtime_error);
+  EXPECT_THROW(BatchCodec::decode(corrupted([](Map& m) { m["samples"] = Value("nope"); })),
+               std::runtime_error);
+  // Missing required field.
+  EXPECT_THROW(BatchCodec::decode(corrupted([](Map& m) { m.erase("nsent"); })),
+               std::runtime_error);
+  // Sample tuple with the wrong arity.
+  EXPECT_THROW(BatchCodec::decode(corrupted([](Map& m) {
+                 Array bad_tuple{Value(std::uint64_t(1)), Value(std::int64_t(2))};
+                 m["samples"] = Value(Array{Value(std::move(bad_tuple))});
+               })),
+               std::runtime_error);
+  // Sample bytes that are not a bin.
+  EXPECT_THROW(BatchCodec::decode(corrupted([](Map& m) {
+                 Array tuple{Value(std::uint64_t(1)), Value(std::int64_t(2)), Value("str")};
+                 m["samples"] = Value(Array{Value(std::move(tuple))});
+               })),
+               std::runtime_error);
+}
+
+TEST(BatchCodec, WrongVersionDiagnosedBeforeSchemaDrift) {
+  // A v99 sender that ALSO changed a field's type must be reported as a
+  // version mismatch, not as the schema error the drift causes first.
+  Map m = decode(BatchCodec::encode(make_batch(1, 4))).as_map();
+  m["v"] = Value(static_cast<std::uint64_t>(99));
+  m["last"] = Value(std::int64_t(1));  // schema drift: bool → int
+  try {
+    BatchCodec::decode(encode(Value(m)));
+    FAIL() << "expected decode to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("wire version 99"), std::string::npos) << e.what();
+  }
+}
+
+TEST(BatchCodec, RejectsDuplicateKeys) {
+  // A duplicated "samples" key must not concatenate into a 2N-sample batch.
+  auto b = make_batch(2, 8);
+  ByteBuffer raw;
+  Encoder enc(raw);
+  enc.pack_map_header(9);
+  auto pack_samples = [&] {
+    enc.pack_string("samples");
+    enc.pack_array_header(b.samples.size());
+    for (const auto& s : b.samples) {
+      enc.pack_array_header(3);
+      enc.pack_uint(s.index);
+      enc.pack_int(s.label);
+      enc.pack_bin(s.bytes);
+    }
+  };
+  enc.pack_string("batch");
+  enc.pack_uint(b.batch_id);
+  enc.pack_string("epoch");
+  enc.pack_uint(b.epoch);
+  enc.pack_string("last");
+  enc.pack_bool(b.last);
+  enc.pack_string("node");
+  enc.pack_uint(b.node_id);
+  enc.pack_string("nsent");
+  enc.pack_uint(b.sent_count);
+  pack_samples();
+  pack_samples();  // duplicate!
+  enc.pack_string("shard");
+  enc.pack_uint(b.shard_id);
+  enc.pack_string("v");
+  enc.pack_uint(1);
+  EXPECT_THROW(BatchCodec::decode(raw.view()), std::runtime_error);
+}
+
+TEST(BatchCodec, ToleratesUnknownKeys) {
+  // Forward compatibility: an extra key from a newer sender is skipped.
+  Map m = decode(BatchCodec::encode(make_batch(1, 4))).as_map();
+  m["future_field"] = Value(Array{Value("x"), Value(std::int64_t(1))});
+  auto decoded = BatchCodec::decode(encode(Value(m)));
+  EXPECT_EQ(decoded.samples.size(), 1u);
+}
+
+TEST(BatchCodec, DecodeIsZeroCopyIntoSharedPayload) {
+  auto b = make_batch(8, 4096);
+  Payload encoded = BatchCodec::encode(b);
+  PayloadCounters::reset();
+  auto decoded = BatchCodec::decode(encoded);
+  // No deliberate deep copies happened anywhere in the decode path...
+  EXPECT_EQ(PayloadCounters::bytes_copied.load(), 0u);
+  ASSERT_EQ(decoded.samples.size(), 8u);
+  for (const auto& s : decoded.samples) {
+    // ...every sample shares the message's refcounted storage...
+    EXPECT_TRUE(s.bytes.shares_storage_with(encoded));
+    // ...and points INTO the encoded buffer.
+    EXPECT_GE(s.bytes.data(), encoded.data());
+    EXPECT_LE(s.bytes.data() + s.bytes.size(), encoded.data() + encoded.size());
+  }
+  // 1 handle + 8 sample views.
+  EXPECT_EQ(encoded.use_count(), 9);
+}
+
+TEST(BatchCodec, PooledEncodeRecyclesBuffers) {
+  auto pool = BufferPool::create(4);
+  auto b = make_batch(4, 1000);
+  for (int round = 0; round < 5; ++round) {
+    Payload p = BatchCodec::encode(b, *pool);
+    EXPECT_EQ(BatchCodec::decode(p), b);
+  }  // payload dropped each round → storage returns to the pool
+  auto stats = pool->stats();
+  EXPECT_EQ(stats.allocated, 1u);  // first round allocates...
+  EXPECT_EQ(stats.reused, 4u);     // ...the rest reuse it
+  EXPECT_EQ(stats.idle, 1u);
+}
+
+TEST(BatchCodec, PooledBufferSurvivesPoolDestruction) {
+  Payload p;
+  {
+    auto pool = BufferPool::create(4);
+    p = BatchCodec::encode(make_batch(1, 32), *pool);
+  }  // pool gone; payload must remain valid (storage frees on last drop)
+  EXPECT_EQ(BatchCodec::decode(p).samples.size(), 1u);
+}
+
+TEST(BatchCodec, EncodeAcceptsBorrowedMmapStyleViews) {
+  // The daemon encodes samples whose bytes borrow mmap'd memory; the wire
+  // bytes must be identical to encoding owned copies of the same data.
+  std::vector<std::uint8_t> backing(512);
+  for (std::size_t i = 0; i < backing.size(); ++i) backing[i] = static_cast<std::uint8_t>(i);
+
+  WireBatch borrowed;
+  WireSample s1;
+  s1.index = 1;
+  s1.bytes = std::span<const std::uint8_t>(backing.data(), 256);  // borrows
+  borrowed.samples.push_back(std::move(s1));
+
+  WireBatch owned;
+  WireSample s2;
+  s2.index = 1;
+  s2.bytes = std::vector<std::uint8_t>(backing.begin(), backing.begin() + 256);  // adopts
+  owned.samples.push_back(std::move(s2));
+
+  EXPECT_FALSE(borrowed.samples[0].bytes.owns_storage());
+  EXPECT_TRUE(owned.samples[0].bytes.owns_storage());
+  EXPECT_EQ(BatchCodec::encode(borrowed), BatchCodec::encode(owned).view());
 }
 
 class BatchSizeSweep : public ::testing::TestWithParam<std::size_t> {};

@@ -180,25 +180,36 @@ TEST(PushPull, BackpressureBlocksProducerUntilConsumed) {
   opts.num_streams = 1;
   PushSocket push("127.0.0.1", pull.port(), opts);
 
+  // 64 × 1 MiB: the unconsumed total (64 MiB) decisively exceeds what
+  // HWM=1 + queue=1 + loopback kernel buffers can absorb, so the producer
+  // MUST stall until the consumer drains (smaller messages can fit entirely
+  // in kernel socket buffers and flake).
+  constexpr int kMessages = 64;
+  constexpr std::size_t kMessageBytes = 1024 * 1024;
   std::atomic<int> sent{0};
   std::thread producer([&] {
-    for (int i = 0; i < 64; ++i) {
-      ASSERT_TRUE(push.send(std::vector<std::uint8_t>(64 * 1024, 0x5A)));
+    for (int i = 0; i < kMessages; ++i) {
+      ASSERT_TRUE(push.send(std::vector<std::uint8_t>(kMessageBytes, 0x5A)));
       ++sent;
     }
   });
-  // Give the producer time to run ahead; with HWM=1 + queue=1 + kernel
-  // buffers it cannot complete all 64 × 64 KiB sends unconsumed.
-  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  // Wait until the producer's progress stalls (two quiet samples in a row)
+  // rather than a fixed sleep, which flakes on loaded CI machines.
   int before_drain = sent.load();
-  EXPECT_LT(before_drain, 64);
-  for (int i = 0; i < 64; ++i) {
+  for (int spins = 0; spins < 200; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    int now = sent.load();
+    if (now == before_drain && now > 0) break;
+    before_drain = now;
+  }
+  EXPECT_LT(before_drain, kMessages);
+  for (int i = 0; i < kMessages; ++i) {
     auto m = pull.recv();
     ASSERT_TRUE(m.has_value());
-    EXPECT_EQ(m->size(), 64u * 1024);
+    EXPECT_EQ(m->size(), kMessageBytes);
   }
   producer.join();
-  EXPECT_EQ(sent.load(), 64);
+  EXPECT_EQ(sent.load(), kMessages);
 }
 
 TEST(PushPull, LargeMessageIntegrity) {
@@ -206,10 +217,33 @@ TEST(PushPull, LargeMessageIntegrity) {
   PushSocket push("127.0.0.1", pull.port());
   std::vector<std::uint8_t> big(3 * 1024 * 1024);
   std::iota(big.begin(), big.end(), 0);
-  ASSERT_TRUE(push.send(big));
+  // send() consumes its payload; keeping `big` for the comparison below
+  // requires an explicit (counted) copy — there are no silent ones.
+  ASSERT_TRUE(push.send(Payload::copy_of(big)));
   auto m = pull.recv();
   ASSERT_TRUE(m.has_value());
   EXPECT_EQ(*m, big);
+}
+
+TEST(PushPull, ReceiveBuffersRecycleThroughPool) {
+  PullSocket pull(0, 8);
+  PushSocket push("127.0.0.1", pull.port());
+  constexpr int kCount = 32;
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(push.send(std::vector<std::uint8_t>(16 * 1024, static_cast<std::uint8_t>(i))));
+  }
+  for (int i = 0; i < kCount; ++i) {
+    auto m = pull.recv();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ((*m)[0], static_cast<std::uint8_t>(i));
+  }  // each payload dropped here → its buffer returns to the pull pool
+  push.close();
+  auto stats = pull.pool_stats();
+  EXPECT_EQ(stats.reused + stats.allocated, static_cast<std::uint64_t>(kCount));
+  // The queue bounds how many buffers can be in flight, so most receives
+  // must have reused recycled storage instead of allocating.
+  EXPECT_GT(stats.reused, 0u);
+  EXPECT_LE(stats.allocated, 8u + 8u + 1u);  // ≤ queue depth + pool slack
 }
 
 // ---------------------------------------------------------------- sim link
@@ -220,6 +254,20 @@ TEST(SimChannel, DeliversInOrder) {
   ch.sink->send(msg({2}));
   EXPECT_EQ((*ch.source->recv())[0], 1);
   EXPECT_EQ((*ch.source->recv())[0], 2);
+}
+
+TEST(SimChannel, ZeroCopyHandoff) {
+  // The in-process link moves the Payload handle end to end: the receiver
+  // observes the very same buffer the sender enqueued.
+  auto ch = make_sim_channel({});
+  Payload original(std::vector<std::uint8_t>{7, 8, 9});
+  const std::uint8_t* sent_ptr = original.data();
+  ch.sink->send(std::move(original));
+  auto m = ch.source->recv();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->data(), sent_ptr);
+  const std::vector<std::uint8_t> want{7, 8, 9};
+  EXPECT_EQ(*m, want);
 }
 
 TEST(SimChannel, CloseEndsStream) {

@@ -243,7 +243,11 @@ TEST(Pipeline, PassesThroughEpochMarkers) {
 
 TEST(Pipeline, CountsChecksumFailures) {
   auto batch = make_wire_batch(0, 0, 3);
-  batch.samples[1].bytes[200] ^= 0xFF;
+  // Payload views are immutable; corrupting a byte means materializing a
+  // mutable copy and swapping it in.
+  auto corrupted = batch.samples[1].bytes.to_vector();
+  corrupted[200] ^= 0xFF;
+  batch.samples[1].bytes = std::move(corrupted);
   Pipeline pipe(PipelineConfig{}, batch_sequence({batch}));
   auto out = pipe.run();
   ASSERT_TRUE(out.has_value());

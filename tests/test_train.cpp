@@ -150,7 +150,9 @@ TEST(Trainer, DetectsCorruptPayload) {
   Trainer trainer(opt);
   trainer.start_epoch(0);
   auto batch = valid_batch(0, 0, {0, 1});
-  batch.samples[1].bytes[100] ^= 0xFF;
+  auto corrupted = batch.samples[1].bytes.to_vector();
+  corrupted[100] ^= 0xFF;
+  batch.samples[1].bytes = std::move(corrupted);
   trainer.train_step(batch);
   EXPECT_EQ(trainer.end_epoch().corrupt_samples, 1u);
 }

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
 
     struct PullSource final : net::MessageSource {
       explicit PullSource(net::PullSocket* s) : socket(s) {}
-      std::optional<std::vector<std::uint8_t>> recv() override { return socket->recv(); }
+      std::optional<Payload> recv() override { return socket->recv(); }
       void close() override { socket->close(); }
       net::PullSocket* socket;
     };

@@ -33,6 +33,14 @@ int main() {
   for (int r = 0; r < 3; ++r) {
     for (auto kind : {eval::LoaderKind::kDali, eval::LoaderKind::kEmlio}) {
       auto cfg = eval::sharded(kind, dataset, model, regimes[r]);
+      if (kind == eval::LoaderKind::kEmlio) {
+        // Model the pipelined storage engine the real daemon now runs:
+        // a read+encode pool wider than the single SendWorker, feeding a
+        // bounded per-sink prefetch queue (DaemonConfig::pool_threads /
+        // ::prefetch_depth).
+        cfg.params.emlio_pool_threads = 4;
+        cfg.params.emlio_prefetch_depth = 16;
+      }
       const PaperCell& cell = kind == eval::LoaderKind::kDali ? kDali[r] : kEmlio[r];
       eval::FigureRow row;
       row.regime = regimes[r].name;

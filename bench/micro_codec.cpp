@@ -13,6 +13,7 @@
 #include "bench_common.h"
 #include "common/crc32c.h"
 #include "common/payload.h"
+#include "common/thread_pool.h"
 #include "json/json.h"
 #include "msgpack/batch_codec.h"
 #include "tfrecord/reader.h"
@@ -105,6 +106,25 @@ void BM_BatchEncodePooled(benchmark::State& state) {
                           static_cast<std::int64_t>(batch.payload_bytes()));
 }
 BENCHMARK(BM_BatchEncodePooled)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_BatchEncodePooledParallel(benchmark::State& state) {
+  // The daemon's pipelined engine fans encode jobs across a shared
+  // ThreadPool into one shared BufferPool (DaemonConfig::pool_threads);
+  // this measures how that hot stage scales with the pool size.
+  auto batch = sample_batch(32, 100 * 1024);
+  auto pool = BufferPool::create();
+  ThreadPool workers(static_cast<std::size_t>(state.range(0)));
+  constexpr int kBatchesPerIter = 16;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatchesPerIter; ++i) {
+      workers.post([&] { benchmark::DoNotOptimize(msgpack::BatchCodec::encode(batch, *pool)); });
+    }
+    workers.wait_idle();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kBatchesPerIter *
+                          static_cast<std::int64_t>(batch.payload_bytes()));
+}
+BENCHMARK(BM_BatchEncodePooledParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_BatchDecode(benchmark::State& state) {
   auto encoded =

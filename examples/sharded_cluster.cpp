@@ -105,12 +105,16 @@ int main() {
   auto d1 = make_daemon(1, {2, 3});
 
   std::thread t0([&] {
-    d0->serve_epoch(plan);
+    if (!d0->serve_epoch(plan)) {
+      std::fprintf(stderr, "daemon0 FAILED: %s\n", d0->last_error().c_str());
+    }
     sinks[0][0]->close();
     sinks[0][1]->close();
   });
   std::thread t1([&] {
-    d1->serve_epoch(plan);
+    if (!d1->serve_epoch(plan)) {
+      std::fprintf(stderr, "daemon1 FAILED: %s\n", d1->last_error().c_str());
+    }
     sinks[1][0]->close();
     sinks[1][1]->close();
   });

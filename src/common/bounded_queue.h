@@ -26,20 +26,28 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
-  /// Blocking push. Returns false if the queue was closed before space
-  /// appeared (item is dropped in that case).
-  bool push(T item) {
+  /// Blocking push. Returns true when the item was accepted (and moved out
+  /// of `item`). Returns false if the queue was closed before space appeared
+  /// — in that case `item` is NOT consumed: the caller's object still holds
+  /// the value, so a producer that must not lose work can recover it. (The
+  /// old contract silently destroyed items rejected by a mid-wait close.)
+  bool push(T& item) {
     std::unique_lock<std::mutex> lock(mutex_);
     not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
-    if (closed_) return false;
+    if (closed_) return false;  // item untouched, recoverable by the caller
     items_.push_back(std::move(item));
     lock.unlock();
     not_empty_.notify_one();
     return true;
   }
 
-  /// Non-blocking push. Returns false when full or closed.
-  bool try_push(T item) {
+  /// Blocking push of an rvalue. Same contract: on rejection the referenced
+  /// object keeps its value (only accepted items are moved from).
+  bool push(T&& item) { return push(static_cast<T&>(item)); }
+
+  /// Non-blocking push. Returns false when full or closed; `item` keeps its
+  /// value on rejection (same recovery contract as push).
+  bool try_push(T& item) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
@@ -48,6 +56,8 @@ class BoundedQueue {
     not_empty_.notify_one();
     return true;
   }
+
+  bool try_push(T&& item) { return try_push(static_cast<T&>(item)); }
 
   /// Blocking pop. Empty optional means the queue was closed and drained.
   std::optional<T> pop() {

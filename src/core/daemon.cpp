@@ -1,11 +1,58 @@
 #include "core/daemon.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <thread>
 
+#include "common/bounded_queue.h"
 #include "common/log.h"
 
 namespace emlio::core {
+
+namespace {
+
+/// Scope guard: joins every joinable thread in the vector on destruction, so
+/// an exception thrown while workers are live can never destroy a joinable
+/// std::thread (which would std::terminate).
+class JoinGuard {
+ public:
+  explicit JoinGuard(std::vector<std::thread>& threads) : threads_(threads) {}
+  ~JoinGuard() {
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+  JoinGuard(const JoinGuard&) = delete;
+  JoinGuard& operator=(const JoinGuard&) = delete;
+
+ private:
+  std::vector<std::thread>& threads_;
+};
+
+}  // namespace
+
+/// Per-sink pipeline lane: the locally-owned assignments for one destination
+/// node (sorted by batch_id), a re-sequencer for out-of-order encode
+/// completions, and the bounded prefetch queue its sender thread drains.
+struct Daemon::SinkLane {
+  explicit SinkLane(std::size_t depth) : queue(depth) {}
+
+  std::uint32_t node_id = 0;
+  net::MessageSink* sink = nullptr;
+  std::vector<BatchAssignment> jobs;  ///< sorted by batch_id; read-only
+  BoundedQueue<OutboundBatch> queue;
+  std::atomic<bool> failed{false};
+  std::atomic<std::uint64_t>* counter = nullptr;  ///< sentinel accounting
+
+  // Re-sequencer state, guarded by mu: encode jobs finish out of order but
+  // the queue is fed strictly in jobs[] order so the wire stream stays
+  // deterministic. pump() is the only writer of next_push/next_submit.
+  std::mutex mu;
+  std::map<std::size_t, OutboundBatch> finished;  ///< seq → encoded result
+  std::size_t next_submit = 0;  ///< next jobs[] index to hand to the pool
+  std::size_t next_push = 0;    ///< next seq the queue is waiting for
+  std::size_t stall_seq = SIZE_MAX;  ///< last seq counted as an enqueue stall
+};
 
 Daemon::Daemon(DaemonConfig config, std::vector<tfrecord::ShardReader> readers,
                std::map<std::uint32_t, std::shared_ptr<net::MessageSink>> sinks,
@@ -24,8 +71,40 @@ std::vector<std::uint32_t> Daemon::shard_ids() const {
 }
 
 DaemonStats Daemon::stats() const {
-  return DaemonStats{batches_sent_.load(), samples_sent_.load(), bytes_sent_.load(),
-                     pool_->stats()};
+  DaemonStats s;
+  s.batches_sent = batches_sent_.load();
+  s.samples_sent = samples_sent_.load();
+  s.bytes_sent = bytes_sent_.load();
+  s.encode_pool = pool_->stats();
+  s.enqueue_stalls = enqueue_stalls_.load();
+  s.sender_stalls = sender_stalls_.load();
+  s.queue_peak_depth = queue_peak_depth_.load();
+  s.errors = errors_.load();
+  return s;
+}
+
+bool Daemon::ok() const {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  return last_error_.empty();
+}
+
+std::string Daemon::last_error() const {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  return last_error_;
+}
+
+void Daemon::record_error(const std::string& what) {
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  log::error("daemon ", config_.daemon_id, ": ", what);
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  if (last_error_.empty()) last_error_ = what;
+}
+
+void Daemon::note_queue_depth(std::size_t depth) {
+  std::uint64_t seen = queue_peak_depth_.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !queue_peak_depth_.compare_exchange_weak(seen, depth, std::memory_order_relaxed)) {
+  }
 }
 
 msgpack::WireBatch Daemon::build_batch(const BatchAssignment& a) const {
@@ -52,21 +131,229 @@ msgpack::WireBatch Daemon::build_batch(const BatchAssignment& a) const {
   return batch;
 }
 
+std::map<std::uint32_t, std::vector<BatchAssignment>> Daemon::local_batches(
+    const EpochPlan& plan) const {
+  std::map<std::uint32_t, std::vector<BatchAssignment>> out;
+  for (const auto& node : plan.nodes) {
+    for (const auto& worker : node.workers) {
+      for (const auto& b : worker.batches) {
+        if (owns_shard(b.shard_id)) out[node.node_id].push_back(b);
+      }
+    }
+  }
+  // Batch-id order per node — the deterministic wire order the pipelined
+  // engine's senders preserve.
+  for (auto& [node_id, batches] : out) {
+    std::sort(batches.begin(), batches.end(),
+              [](const BatchAssignment& a, const BatchAssignment& b) {
+                return a.batch_id < b.batch_id;
+              });
+  }
+  return out;
+}
+
+bool Daemon::validate_plan(
+    std::uint32_t epoch, const std::map<std::uint32_t, std::vector<BatchAssignment>>& local) {
+  // Every plan node this daemon will serve (≥1 locally-owned batch) must
+  // have a sink BEFORE any thread launches — a missing sink used to throw
+  // inside the worker's std::thread lambda and take the whole process down
+  // via std::terminate.
+  for (const auto& [node_id, batches] : local) {
+    if (!batches.empty() && !sinks_.count(node_id)) {
+      record_error("epoch " + std::to_string(epoch) + ": no sink for node " +
+                   std::to_string(node_id) + " (plan assigns it locally-owned shards)");
+      return false;
+    }
+  }
+  return true;
+}
+
+// --------------------------------------------------------- pipelined engine
+
+void Daemon::encode_job(SinkLane& lane, std::size_t seq) {
+  OutboundBatch out;
+  if (!lane.failed.load(std::memory_order_acquire)) {
+    try {
+      msgpack::WireBatch batch = build_batch(lane.jobs[seq]);
+      out.batch_id = batch.batch_id;
+      out.nsamples = batch.samples.size();
+      // Encode into a pooled buffer: the mmap'd record bytes are copied
+      // once, into the serialized message; the Payload handle then moves
+      // through the queue and sink copy-free and the buffer recycles when
+      // the transport drops it.
+      out.payload = msgpack::BatchCodec::encode(batch, *pool_);
+    } catch (const std::exception& e) {
+      record_error("encode worker (node " + std::to_string(lane.node_id) + ", batch " +
+                   std::to_string(lane.jobs[seq].batch_id) + "): " + e.what());
+      lane.failed.store(true, std::memory_order_release);
+    }
+  }
+
+  // Park the result and pump: the ready prefix moves to the queue in
+  // batch-id order, space permitting. Never blocks this pool thread.
+  {
+    std::lock_guard<std::mutex> lock(lane.mu);
+    lane.finished.emplace(seq, std::move(out));
+  }
+  pump(lane);
+}
+
+void Daemon::pump(SinkLane& lane) {
+  // Move the ready prefix of finished results into the prefetch queue (in
+  // batch-id order) and admit one new encode job per batch queued. Called by
+  // encode workers (a result just parked) and by the sender (space just
+  // freed). Strictly NON-BLOCKING: when this lane's queue is full, the
+  // batch stays parked and no new job is admitted — so a backpressured sink
+  // idles only its own lane (≤ depth parked results) and the shared pool
+  // keeps serving the other sinks. The §4.5 back-off is the stopped
+  // admission, not a blocked thread.
+  std::vector<std::size_t> to_submit;
+  {
+    std::lock_guard<std::mutex> lock(lane.mu);
+    if (lane.failed.load(std::memory_order_acquire)) {
+      lane.queue.close();  // abort: sender (if alive) drains then exits
+      return;
+    }
+    for (auto it = lane.finished.find(lane.next_push); it != lane.finished.end();
+         it = lane.finished.find(lane.next_push)) {
+      if (!lane.queue.try_push(it->second)) {
+        if (lane.queue.closed()) {
+          // Sender closed the queue (sink gone); drop the epoch's remainder.
+          lane.failed.store(true, std::memory_order_release);
+          return;
+        }
+        // Queue full: disk/encode outran the wire. Count once per batch.
+        if (lane.stall_seq != lane.next_push) {
+          lane.stall_seq = lane.next_push;
+          enqueue_stalls_.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      }
+      note_queue_depth(lane.queue.size());
+      lane.finished.erase(it);
+      ++lane.next_push;
+      // One batch queued admits one new job: in-flight (running or parked)
+      // stays ≤ the priming window.
+      if (lane.next_submit < lane.jobs.size()) to_submit.push_back(lane.next_submit++);
+    }
+    if (lane.next_push == lane.jobs.size()) {
+      lane.queue.close();  // all queued: sender drains then exits
+    }
+  }
+  for (std::size_t seq : to_submit) {
+    encode_pool_->post([this, &lane, seq] { encode_job(lane, seq); });
+  }
+}
+
+void Daemon::sender_loop(SinkLane& lane, std::uint32_t epoch) {
+  for (;;) {
+    if (lane.queue.size() == 0 && !lane.queue.closed()) {
+      // Empty at pop time: the wire outran disk/encode.
+      sender_stalls_.fetch_add(1, std::memory_order_relaxed);
+    }
+    auto msg = lane.queue.pop();
+    if (!msg) return;  // closed and drained
+    pump(lane);  // space just freed: refill while we spend time on the wire
+    std::uint64_t nbytes = msg->payload.size();
+    if (timestamps_) timestamps_->record("batch_send", static_cast<std::int64_t>(msg->batch_id));
+    if (!lane.sink->send(std::move(msg->payload))) {
+      log::warn("daemon ", config_.daemon_id, ": sink for node ", lane.node_id,
+                " closed mid-epoch ", epoch);
+      lane.failed.store(true, std::memory_order_release);
+      lane.queue.close();  // unblocks producers; their pushes now reject
+      return;
+    }
+    batches_sent_.fetch_add(1, std::memory_order_relaxed);
+    samples_sent_.fetch_add(msg->nsamples, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(nbytes, std::memory_order_relaxed);
+    lane.counter->fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool Daemon::pipelined_epoch(const EpochPlan& plan,
+                             std::map<std::uint32_t, std::vector<BatchAssignment>>& local,
+                             NodeCounters& counters) {
+  if (!encode_pool_) {
+    std::size_t n = config_.pool_threads;
+    if (n == 0) {
+      n = std::thread::hardware_concurrency();
+      n = std::clamp<std::size_t>(n, 2, 8);
+    }
+    encode_pool_ = std::make_unique<ThreadPool>(n);
+  }
+  const std::size_t depth = std::max<std::size_t>(1, config_.prefetch_depth);
+
+  // One lane per destination node with locally-owned batches (already in
+  // batch-id order — the deterministic wire order).
+  std::vector<std::unique_ptr<SinkLane>> lanes;
+  for (auto& [node_id, batches] : local) {
+    if (batches.empty()) continue;
+    auto lane = std::make_unique<SinkLane>(depth);
+    lane->node_id = node_id;
+    lane->sink = sinks_.at(node_id).get();
+    lane->jobs = std::move(batches);
+    lane->counter = &counters.at(node_id);
+    lanes.push_back(std::move(lane));
+  }
+
+  {
+    std::vector<std::thread> senders;
+    // Runs on BOTH paths (exception or normal): close every queue (so
+    // blocked producers and senders unblock), join the senders — a joinable
+    // sender must never be destroyed — and wait out straggler encode jobs,
+    // which reference the lanes this frame owns.
+    struct DrainGuard {
+      Daemon* daemon;
+      std::vector<std::unique_ptr<SinkLane>>& lanes;
+      std::vector<std::thread>& senders;
+      ~DrainGuard() {
+        for (auto& lane : lanes) lane->queue.close();
+        for (auto& t : senders) {
+          if (t.joinable()) t.join();
+        }
+        daemon->encode_pool_->wait_idle();
+      }
+    } drain_guard{this, lanes, senders};
+
+    senders.reserve(lanes.size());
+    for (auto& lane : lanes) {
+      senders.emplace_back(
+          [this, lane = lane.get(), epoch = plan.epoch] { sender_loop(*lane, epoch); });
+    }
+    // Prime each lane with a window of `depth` encode jobs; every completed
+    // job admits the next, so at most `depth` results are ever buffered
+    // ahead of the queue per sink.
+    for (auto& lane : lanes) {
+      std::lock_guard<std::mutex> lock(lane->mu);
+      std::size_t window = std::min(depth, lane->jobs.size());
+      for (; lane->next_submit < window; ++lane->next_submit) {
+        std::size_t seq = lane->next_submit;
+        encode_pool_->post([this, lane = lane.get(), seq] { encode_job(*lane, seq); });
+      }
+    }
+    // Normal completion: each lane's flush closes its queue after the last
+    // batch, and its sender exits once drained. (The guard re-joins, closes
+    // and waits out straggler encode jobs — all idempotent.)
+    for (auto& t : senders) t.join();
+  }
+
+  bool clean = true;
+  for (const auto& lane : lanes) {
+    if (lane->failed.load(std::memory_order_acquire)) clean = false;
+  }
+  return clean;
+}
+
+// ------------------------------------------------------ legacy serial engine
+
 void Daemon::send_worker(const WorkerPlan& worker, std::uint32_t epoch,
                          std::atomic<std::uint64_t>& node_counter) {
-  auto sink_it = sinks_.find(worker.node_id);
-  if (sink_it == sinks_.end()) {
-    throw std::runtime_error("daemon: no sink for node " + std::to_string(worker.node_id));
-  }
-  net::MessageSink& sink = *sink_it->second;
+  net::MessageSink& sink = *sinks_.at(worker.node_id);  // validated upstream
 
   for (const auto& a : worker.batches) {
-    if (readers_.find(a.shard_id) == readers_.end()) continue;  // another daemon's shard
+    if (!owns_shard(a.shard_id)) continue;  // another daemon's shard
     msgpack::WireBatch batch = build_batch(a);
     std::uint64_t nsamples = batch.samples.size();
-    // Encode into a pooled buffer: the mmap'd record bytes are copied once,
-    // into the serialized message; the Payload handle then moves through the
-    // sink copy-free and the buffer recycles when the transport drops it.
     Payload payload = msgpack::BatchCodec::encode(batch, *pool_);
     std::uint64_t nbytes = payload.size();
     if (timestamps_) timestamps_->record("batch_send", static_cast<std::int64_t>(a.batch_id));
@@ -81,49 +368,77 @@ void Daemon::send_worker(const WorkerPlan& worker, std::uint32_t epoch,
   }
 }
 
-void Daemon::serve_epoch(const EpochPlan& plan) {
-  if (timestamps_) timestamps_->record("epoch_start", plan.epoch);
-
-  // Per-destination batch counters: the sentinel carries how many data
-  // batches this daemon shipped, so the receiver can detect cross-stream
-  // sentinel overtaking (see batch_codec.h).
-  std::map<std::uint32_t, std::atomic<std::uint64_t>> counters;
-  for (const auto& [node_id, sink] : sinks_) counters[node_id] = 0;
-
-  // Launch every worker that has at least one locally-owned assignment.
+bool Daemon::serial_epoch(const EpochPlan& plan, NodeCounters& counters) {
+  std::atomic<bool> clean{true};
   std::vector<std::thread> threads;
+  // Join-or-fail cleanly: if anything below throws while workers are live
+  // (the old code could — counters.at() on an unknown node), the guard joins
+  // them instead of letting ~thread() call std::terminate.
+  JoinGuard join_guard(threads);
   for (const auto& node : plan.nodes) {
     for (const auto& worker : node.workers) {
       bool local = false;
       for (const auto& b : worker.batches) {
-        if (readers_.count(b.shard_id)) {
+        if (owns_shard(b.shard_id)) {
           local = true;
           break;
         }
       }
       if (local) {
-        threads.emplace_back([this, &worker, epoch = plan.epoch,
+        threads.emplace_back([this, &worker, &clean, epoch = plan.epoch,
                               counter = &counters.at(worker.node_id)] {
-          send_worker(worker, epoch, *counter);
+          try {
+            send_worker(worker, epoch, *counter);
+          } catch (const std::exception& e) {
+            // An exception escaping a std::thread is std::terminate — trap
+            // it into the daemon's error state instead.
+            record_error("send worker (node " + std::to_string(worker.node_id) +
+                         "): " + e.what());
+            clean.store(false, std::memory_order_release);
+          }
         });
       }
     }
   }
-  for (auto& t : threads) t.join();
+  for (auto& t : threads) t.join();  // guard then has nothing left to do
+  return clean.load(std::memory_order_acquire);
+}
 
-  // End-of-epoch sentinel to every destination node this daemon serves.
+// ------------------------------------------------------------------- epochs
+
+bool Daemon::serve_epoch(const EpochPlan& plan) {
+  if (timestamps_) timestamps_->record("epoch_start", plan.epoch);
+
+  auto local = local_batches(plan);
+  if (!validate_plan(plan.epoch, local)) return false;  // error state set; nothing launched
+
+  // Per-destination batch counters: the sentinel carries how many data
+  // batches this daemon shipped, so the receiver can detect cross-stream
+  // sentinel overtaking (see batch_codec.h). Pre-sized for every sink and
+  // every plan node so no lookup can fail while workers are live.
+  NodeCounters counters;
+  for (const auto& [node_id, sink] : sinks_) counters[node_id];
+  for (const auto& node : plan.nodes) counters[node.node_id];
+
+  bool clean = config_.pipelined ? pipelined_epoch(plan, local, counters)
+                                 : serial_epoch(plan, counters);
+
+  // End-of-epoch sentinel to every destination node this daemon serves
+  // (best-effort on a failed lane: a closed sink rejects it harmlessly).
   for (auto& [node_id, sink] : sinks_) {
     auto sentinel = msgpack::BatchCodec::make_sentinel(node_id, plan.epoch,
                                                        counters.at(node_id).load());
     sink->send(msgpack::BatchCodec::encode(sentinel));
   }
   if (timestamps_) timestamps_->record("epoch_end", plan.epoch);
+  return clean;
 }
 
-void Daemon::serve(const Planner& planner, std::size_t num_nodes) {
+bool Daemon::serve(const Planner& planner, std::size_t num_nodes) {
   for (std::uint32_t e = 0; e < planner.config().epochs; ++e) {
-    serve_epoch(planner.plan_epoch(e, num_nodes));
+    if (!serve_epoch(planner.plan_epoch(e, num_nodes))) return false;
   }
+  return true;
 }
 
 }  // namespace emlio::core

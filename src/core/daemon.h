@@ -1,23 +1,37 @@
 // The EMLIO Daemon (storage side, §4.1 / Algorithm 2 lines 5–8).
 //
 // Runs on every storage node. For each epoch it takes the node plans whose
-// shards it owns and launches T SendWorker threads; each SendWorker walks
-// its assignments, slices B records straight out of the mmap'd shard
-// (zero-copy views), msgpack-serializes the group into one payload and
-// PUSHes it to the destination node's MessageSink. The sink's high-water
-// mark provides the blocking-send backpressure of §4.5. Read/serialize and
-// network send run on different threads (the sink's internal sender), so
-// disk and network stay concurrently busy — design principle (1).
+// shards it owns and streams them through a pipelined engine:
+//
+//   read+encode jobs          per-sink prefetch queue       sender thread
+//   (shared ThreadPool)  -->  BoundedQueue, cap = HWM  -->  (one per sink)
+//
+// Each job slices B records straight out of the mmap'd shard (zero-copy
+// views) and msgpack-serializes them into one pooled Payload. Finished
+// payloads are re-sequenced into batch-id order and flow through the sink's
+// bounded prefetch queue; a dedicated sender thread drains the queue and
+// PUSHes to the destination node's MessageSink. Disk/encode and network are
+// therefore concurrently busy — design principle (1) — while the bounded
+// queue plus the sink's high-water mark provide the blocking-send
+// backpressure of §4.5. The wire stream per sink stays deterministic
+// (batch-id order) regardless of pool size.
+//
+// Failure semantics: serve_epoch validates the plan against the configured
+// sinks BEFORE launching any thread; validation and worker failures are
+// surfaced through an error state (ok()/last_error(), serve_epoch's return
+// value) instead of escaping a std::thread and terminating the process.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/thread_pool.h"
 #include "common/timestamp_logger.h"
 #include "core/planner.h"
 #include "msgpack/batch_codec.h"
@@ -29,6 +43,16 @@ namespace emlio::core {
 struct DaemonConfig {
   std::string daemon_id = "daemon0";
   bool verify_crc = false;  ///< re-verify TFRecord CRCs on the hot path
+  /// Pipelined engine (default): read+encode on a shared pool, per-sink
+  /// prefetch queues, one sender thread per sink. false = the legacy serial
+  /// per-worker loop (kept for A/B benching; see bench/micro_daemon_pipeline).
+  bool pipelined = true;
+  /// Read+encode pool size. 0 = auto (hardware concurrency, clamped to
+  /// [2, 8]).
+  std::size_t pool_threads = 0;
+  /// Per-sink encoded-batch prefetch queue capacity — the paper's HWM. Also
+  /// bounds how many encode jobs may be in flight per sink.
+  std::size_t prefetch_depth = 16;
 };
 
 struct DaemonStats {
@@ -36,6 +60,13 @@ struct DaemonStats {
   std::uint64_t samples_sent = 0;
   std::uint64_t bytes_sent = 0;  ///< serialized payload bytes
   BufferPool::Stats encode_pool; ///< reuse behaviour of the encode buffers
+  // Pipeline balance counters (pipelined engine only):
+  std::uint64_t enqueue_stalls = 0;   ///< encodes that found their sink queue
+                                      ///< full (disk/encode outran the wire)
+  std::uint64_t sender_stalls = 0;    ///< sender pops that found the queue
+                                      ///< empty (wire outran disk/encode)
+  std::uint64_t queue_peak_depth = 0; ///< max prefetch-queue occupancy seen
+  std::uint64_t errors = 0;           ///< plan-validation + worker failures
 };
 
 class Daemon {
@@ -47,23 +78,59 @@ class Daemon {
          std::map<std::uint32_t, std::shared_ptr<net::MessageSink>> sinks,
          TimestampLogger* timestamps = nullptr);
 
-  /// Serve one epoch of `plan` (blocking): launches the plan's SendWorker
-  /// threads for assignments whose shards are local, joins them, then sends
-  /// one end-of-epoch sentinel per destination node.
-  void serve_epoch(const EpochPlan& plan);
+  /// Serve one epoch of `plan` (blocking). Validates that every plan node
+  /// with locally-owned batches has a sink, then runs the pipelined (or
+  /// serial) engine and finishes with one end-of-epoch sentinel per
+  /// destination node. Returns false — with ok()/last_error() set — on
+  /// validation failure (nothing is launched) or when any worker failed
+  /// mid-epoch; it never throws out of a worker thread.
+  bool serve_epoch(const EpochPlan& plan);
 
-  /// Serve all epochs [0, epochs) from the planner.
-  void serve(const Planner& planner, std::size_t num_nodes);
+  /// Serve all epochs [0, epochs) from the planner; stops early and returns
+  /// false on the first failed epoch.
+  bool serve(const Planner& planner, std::size_t num_nodes);
 
   DaemonStats stats() const;
+
+  /// False once any epoch hit a validation or worker failure.
+  bool ok() const;
+  /// Description of the first failure ("" while ok()).
+  std::string last_error() const;
 
   /// Shards owned by this daemon.
   std::vector<std::uint32_t> shard_ids() const;
 
  private:
+  /// One encoded batch queued for a sink, with the metadata its sender
+  /// needs for stats and sentinel accounting.
+  struct OutboundBatch {
+    Payload payload;
+    std::uint64_t batch_id = 0;
+    std::uint64_t nsamples = 0;
+  };
+  struct SinkLane;
+  using NodeCounters = std::map<std::uint32_t, std::atomic<std::uint64_t>>;
+
+  /// The shard-locality rule, single-sourced for validation + both engines.
+  bool owns_shard(std::uint32_t shard_id) const { return readers_.count(shard_id) != 0; }
+  /// Locally-owned assignments per destination node, sorted by batch_id.
+  std::map<std::uint32_t, std::vector<BatchAssignment>> local_batches(
+      const EpochPlan& plan) const;
+
+  bool validate_plan(std::uint32_t epoch,
+                     const std::map<std::uint32_t, std::vector<BatchAssignment>>& local);
+  bool pipelined_epoch(const EpochPlan& plan,
+                       std::map<std::uint32_t, std::vector<BatchAssignment>>& local,
+                       NodeCounters& counters);
+  bool serial_epoch(const EpochPlan& plan, NodeCounters& counters);
+  void encode_job(SinkLane& lane, std::size_t seq);
+  void pump(SinkLane& lane);
+  void sender_loop(SinkLane& lane, std::uint32_t epoch);
   void send_worker(const WorkerPlan& worker, std::uint32_t epoch,
                    std::atomic<std::uint64_t>& node_counter);
   msgpack::WireBatch build_batch(const BatchAssignment& assignment) const;
+  void record_error(const std::string& what);
+  void note_queue_depth(std::size_t depth);
 
   DaemonConfig config_;
   std::map<std::uint32_t, tfrecord::ShardReader> readers_;
@@ -72,10 +139,20 @@ class Daemon {
   /// Encode buffers cycle through here: serialized, sent, recycled when the
   /// transport (or receiver) drops the last reference.
   std::shared_ptr<BufferPool> pool_ = BufferPool::create();
+  /// Shared read+encode pool (pipelined engine; created on first use so
+  /// serial daemons spawn no extra threads).
+  std::unique_ptr<ThreadPool> encode_pool_;
 
   std::atomic<std::uint64_t> batches_sent_{0};
   std::atomic<std::uint64_t> samples_sent_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> enqueue_stalls_{0};
+  std::atomic<std::uint64_t> sender_stalls_{0};
+  std::atomic<std::uint64_t> queue_peak_depth_{0};
+  std::atomic<std::uint64_t> errors_{0};
+
+  mutable std::mutex error_mutex_;
+  std::string last_error_;
 };
 
 }  // namespace emlio::core

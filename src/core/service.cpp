@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/log.h"
+
 namespace emlio::core {
 
 namespace {
@@ -73,6 +75,9 @@ void EmlioService::start() {
   DaemonConfig dc;
   dc.daemon_id = "daemon0";
   dc.verify_crc = config_.verify_crc;
+  dc.pipelined = config_.pipelined;
+  dc.pool_threads = config_.pipeline_pool_threads;
+  dc.prefetch_depth = config_.prefetch_depth ? config_.prefetch_depth : config_.high_water_mark;
   daemon_ = std::make_unique<Daemon>(dc, std::move(readers), std::move(sinks), &timestamps_);
 
   ReceiverConfig rc;
@@ -81,8 +86,18 @@ void EmlioService::start() {
   receiver_ = std::make_unique<Receiver>(rc, std::move(source), &timestamps_);
 
   daemon_thread_ = std::thread([this, sink] {
-    daemon_->serve(*planner_, /*num_nodes=*/1);
-    sink->close();  // daemon finished all epochs: flush & end the stream
+    // The daemon reports failures through its error state; anything that
+    // still escapes (I/O faults) must not leave this thread uncaught —
+    // that would std::terminate the process. Either way the sink closes so
+    // the receiver sees end-of-stream instead of hanging.
+    try {
+      if (!daemon_->serve(*planner_, /*num_nodes=*/1)) {
+        log::error("emlio service: daemon stopped early: ", daemon_->last_error());
+      }
+    } catch (const std::exception& e) {
+      log::error("emlio service: daemon thread: ", e.what());
+    }
+    sink->close();  // flush & end the stream
   });
 }
 

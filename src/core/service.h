@@ -34,6 +34,12 @@ struct ServiceConfig {
   std::size_t high_water_mark = 16;   ///< ZMQ-style HWM
   std::size_t num_streams = 2;        ///< parallel TCP streams (kTcp)
   std::size_t receiver_queue = 16;    ///< shared in-memory queue depth
+  /// Daemon pipeline: read+encode pool size (0 = auto) and per-sink
+  /// prefetch-queue depth (0 = follow high_water_mark). pipelined=false
+  /// falls back to the legacy serial per-worker loop (A/B benching).
+  std::size_t pipeline_pool_threads = 0;
+  std::size_t prefetch_depth = 0;
+  bool pipelined = true;
   std::uint64_t seed = 1234;
   bool shuffle = true;
   bool verify_crc = false;

@@ -357,11 +357,21 @@ ScenarioResult run_emlio(const ScenarioConfig& cfg) {
                                        : cfg.storage_node.disk_latency);
   sim::Pipe network(eng, cfg.compute_node.nic_bytes_per_sec,
                     from_millis(cfg.regime.rtt_ms / 2.0));
-  sim::Server serialize_pool(eng, p.emlio_daemon_threads, &daemon_host.cpu());
+  // Pipelined storage engine: the read+encode pool can be wider than the
+  // daemon's worker count (DaemonConfig::pool_threads), and a bounded
+  // encoded-batch queue sits between encode and the wire
+  // (DaemonConfig::prefetch_depth). Defaults model the serial engine.
+  const std::size_t pool_threads =
+      p.emlio_pool_threads ? p.emlio_pool_threads : p.emlio_daemon_threads;
+  sim::Server serialize_pool(eng, pool_threads, &daemon_host.cpu());
   sim::Server deserialize_pool(
       eng, static_cast<std::size_t>(p.deserialize_threads), &compute.cpu());
   sim::AsyncSemaphore hwm(p.emlio_hwm * p.emlio_streams);
   sim::AsyncSemaphore prefetch(p.emlio_prefetch_q);
+  std::unique_ptr<sim::AsyncSemaphore> send_queue;
+  if (p.emlio_prefetch_depth) {
+    send_queue = std::make_unique<sim::AsyncSemaphore>(p.emlio_prefetch_depth);
+  }
 
   // Sharded scenario 2: every node consumes the full dataset, with half the
   // shards local and half streamed from peer daemons — but the EMLIO wire
@@ -399,7 +409,15 @@ ScenarioResult run_emlio(const ScenarioConfig& cfg) {
         cfg.fabric == Fabric::kNvmeOf ? from_millis(cfg.regime.rtt_ms / 2.0) : 0;
     disk.transfer_with_latency(batch_bytes, extra_read_latency, [&] {
       serialize_pool.submit(serialize_time(batch_bytes), [&] {
+        // Encoded batch enters the per-sink prefetch queue (when modeled);
+        // its slot frees once the sender hands the batch to the wire.
+        auto enqueue = [&](std::function<void()> fn) {
+          if (send_queue) send_queue->acquire(std::move(fn));
+          else fn();
+        };
+        enqueue([&] {
         hwm.acquire([&] {
+          if (send_queue) send_queue->release();
           daemon_next();  // pipeline: next batch proceeds while this one ships
           Nanos extra_loopback = 0;
           if (cfg.regime.local_disk) {
@@ -418,6 +436,7 @@ ScenarioResult run_emlio(const ScenarioConfig& cfg) {
             });
           });
         });
+        });
       });
     });
   };
@@ -435,7 +454,7 @@ ScenarioResult run_emlio(const ScenarioConfig& cfg) {
   // symmetric cost, charged on the compute rig.
   if (cfg.sharded) compute.cpu().begin_work(1.0);
 
-  for (std::size_t t = 0; t < p.emlio_daemon_threads; ++t) daemon_next();
+  for (std::size_t t = 0; t < pool_threads; ++t) daemon_next();
   eng.run();
   compute.cpu().end_work(p.emlio_service_threads);
   if (cfg.sharded) compute.cpu().end_work(1.0);

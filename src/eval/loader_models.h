@@ -70,6 +70,12 @@ struct LoaderParams {
 
   // EMLIO
   std::size_t emlio_daemon_threads = 1;     ///< T (Figure 7 vs 8 concurrency)
+  /// Storage-side pipelined engine knobs (mirror DaemonConfig::pool_threads
+  /// and ::prefetch_depth). pool_threads 0 = one read+encode lane per daemon
+  /// thread (the paper's serial SendWorker behaviour); prefetch_depth 0 =
+  /// no storage-side encoded-batch queue modeled (pre-pipeline behaviour).
+  std::size_t emlio_pool_threads = 0;
+  std::size_t emlio_prefetch_depth = 0;
   std::size_t emlio_hwm = 16;               ///< ZMQ HWM per stream
   std::size_t emlio_streams = 4;            ///< parallel TCP streams
   std::size_t emlio_prefetch_q = 4;         ///< DALI external_source queue

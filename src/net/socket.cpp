@@ -1,10 +1,13 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include <memory>
 
 #include <cerrno>
 #include <cstring>
@@ -48,18 +51,34 @@ TcpStream::TcpStream(Fd fd) : fd_(std::move(fd)) {
 }
 
 TcpStream TcpStream::connect(const std::string& host, std::uint16_t port) {
-  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
-  if (!fd.valid()) throw_errno("socket");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    throw std::runtime_error("connect: invalid IPv4 address " + host);
+  // Resolve via getaddrinfo so hostnames ("localhost", "storage-node-3")
+  // work, not just dotted IPv4 literals (literals resolve too, AI_NUMERICHOST
+  // -free). Try every returned address until one connects.
+  addrinfo hints{};
+  hints.ai_family = AF_INET;  // listeners bind IPv4 (see TcpListener)
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_protocol = IPPROTO_TCP;
+  addrinfo* results = nullptr;
+  int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &results);
+  if (rc != 0) {
+    throw std::runtime_error("connect: cannot resolve " + host + ": " + ::gai_strerror(rc));
   }
-  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    throw_errno("connect to " + host + ":" + std::to_string(port));
+  std::unique_ptr<addrinfo, decltype(&::freeaddrinfo)> guard(results, &::freeaddrinfo);
+
+  int last_errno = 0;
+  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    Fd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!fd.valid()) {
+      last_errno = errno;
+      continue;
+    }
+    if (::connect(fd.get(), ai->ai_addr, ai->ai_addrlen) == 0) {
+      return TcpStream(std::move(fd));
+    }
+    last_errno = errno;
   }
-  return TcpStream(std::move(fd));
+  errno = last_errno;
+  throw_errno("connect to " + host + ":" + std::to_string(port));
 }
 
 void TcpStream::send_all(std::span<const std::uint8_t> bytes) {
@@ -118,20 +137,24 @@ TcpListener::TcpListener(std::uint16_t port, int backlog) {
 }
 
 std::optional<TcpStream> TcpListener::accept() {
-  if (!fd_.valid()) return std::nullopt;
+  if (closed_.load(std::memory_order_acquire) || !fd_.valid()) return std::nullopt;
   int fd = ::accept(fd_.get(), nullptr, nullptr);
-  if (fd < 0) {
-    // EBADF / EINVAL after close() is the normal shutdown path.
+  if (fd < 0 || closed_.load(std::memory_order_acquire)) {
+    // EINVAL after close()'s shutdown is the normal teardown path.
+    if (fd >= 0) ::close(fd);
     return std::nullopt;
   }
   return TcpStream(Fd(fd));
 }
 
 void TcpListener::close() noexcept {
-  if (fd_.valid()) {
-    ::shutdown(fd_.get(), SHUT_RDWR);  // wakes blocked accept on some kernels
-    fd_.reset();
-  }
+  // Only shut the socket down here — that wakes a concurrently blocked
+  // accept(). The fd itself is released by the destructor, after the owner
+  // has joined its accept thread: resetting it now would race the accept
+  // thread's reads of the descriptor (and could close an fd number another
+  // thread just reused).
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
 }
 
 }  // namespace emlio::net

@@ -6,6 +6,7 @@
 // into large framed messages, so Nagle coalescing only adds latency.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -40,7 +41,9 @@ class TcpStream {
   TcpStream() = default;
   explicit TcpStream(Fd fd);
 
-  /// Connect to host:port. Throws std::runtime_error on failure.
+  /// Connect to host:port. `host` may be a hostname or an IPv4 literal —
+  /// resolution goes through getaddrinfo and every candidate address is
+  /// tried. Throws std::runtime_error on resolution or connect failure.
   static TcpStream connect(const std::string& host, std::uint16_t port);
 
   /// Write the entire span; throws on error/EOF.
@@ -72,14 +75,20 @@ class TcpListener {
   /// Accept one connection; empty optional if the listener was closed.
   std::optional<TcpStream> accept();
 
-  /// Unblock any accept() and close the socket. Idempotent.
+  /// Unblock any concurrently blocked accept() (via shutdown) and mark the
+  /// listener closed. The descriptor itself is released by the destructor —
+  /// the owner must join its accept thread before destroying the listener.
+  /// Idempotent, safe to call while accept() runs on another thread.
   void close() noexcept;
 
-  bool valid() const noexcept { return fd_.valid(); }
+  bool valid() const noexcept {
+    return fd_.valid() && !closed_.load(std::memory_order_acquire);
+  }
 
  private:
   Fd fd_;
   std::uint16_t port_ = 0;
+  std::atomic<bool> closed_{false};
 };
 
 }  // namespace emlio::net

@@ -254,6 +254,50 @@ TEST(BoundedQueue, CloseUnblocksWaitingProducer) {
   t.join();
 }
 
+TEST(BoundedQueue, PushRejectedByCloseLeavesItemRecoverable) {
+  // The contract the daemon's per-sink send queues depend on: a push that
+  // loses the race with close() must NOT consume the item — the producer
+  // gets to keep (account for, re-route, or deliberately drop) it.
+  BoundedQueue<std::vector<int>> q(1);
+  std::vector<int> first{1, 2, 3};
+  ASSERT_TRUE(q.push(first));
+  EXPECT_TRUE(first.empty());  // accepted items ARE moved from
+
+  std::vector<int> second{4, 5, 6};
+  std::atomic<bool> rejected{false};
+  std::thread t([&] {
+    if (!q.push(second)) rejected = true;  // blocks on the full queue
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();  // closes while the producer waits mid-push
+  t.join();
+  EXPECT_TRUE(rejected.load());
+  EXPECT_EQ(second, (std::vector<int>{4, 5, 6}));  // value survived rejection
+}
+
+TEST(BoundedQueue, TryPushRejectionLeavesItemRecoverable) {
+  BoundedQueue<std::vector<int>> q(1);
+  ASSERT_TRUE(q.try_push(std::vector<int>{1}));
+  std::vector<int> item{7, 8};
+  EXPECT_FALSE(q.try_push(item));  // full
+  EXPECT_EQ(item, (std::vector<int>{7, 8}));
+  q.close();
+  EXPECT_FALSE(q.try_push(item));  // closed
+  EXPECT_EQ(item, (std::vector<int>{7, 8}));
+}
+
+TEST(BoundedQueue, CloseThenDrainDeliversEverythingAccepted) {
+  // Close/drain semantics: everything accepted before close() comes out of
+  // pop() in order; nothing accepted after close() exists to come out.
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.push(i));
+  q.close();
+  EXPECT_FALSE(q.push(99));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.pop().value(), i);
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
 TEST(BoundedQueue, ManyProducersManyConsumers) {
   BoundedQueue<int> q(16);
   constexpr int kPerProducer = 500;

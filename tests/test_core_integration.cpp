@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <set>
 
 #include "core/daemon.h"
 #include "core/planner.h"
@@ -463,6 +464,274 @@ TEST_F(CoreIntegrationTest, TwoDaemonsOneReceiverSentinelAggregation) {
   EXPECT_EQ(d1.stats().samples_sent + d2.stats().samples_sent, 48u);
 }
 
+// ------------------------------------------- daemon crash-path regressions
+
+TEST_F(CoreIntegrationTest, MissingSinkSurfacesErrorStateInsteadOfCrashing) {
+  // Regression: a plan node with locally-owned shards but no configured sink
+  // used to throw inside the send-worker's std::thread lambda →
+  // std::terminate. The daemon must validate the plan BEFORE launching
+  // anything and surface the failure through its error state.
+  auto indexes = tfrecord::load_all_indexes(dir_.string());
+  PlannerConfig pc;
+  pc.batch_size = 8;
+  pc.epochs = 1;
+  Planner planner(indexes, pc);
+  auto plan = planner.plan_epoch(0, /*num_nodes=*/2);  // plan serves nodes 0 AND 1
+
+  for (bool pipelined : {true, false}) {
+    auto ch = net::make_sim_channel({});
+    auto sink0 = std::shared_ptr<net::MessageSink>(std::move(ch.sink));
+    std::vector<tfrecord::ShardReader> readers;
+    for (const auto& idx : indexes) readers.emplace_back(idx);
+    DaemonConfig dc;
+    dc.daemon_id = pipelined ? "pipelined" : "serial";
+    dc.pipelined = pipelined;
+    std::map<std::uint32_t, std::shared_ptr<net::MessageSink>> sinks{{0u, sink0}};  // no node 1!
+    Daemon daemon(dc, std::move(readers), sinks);
+    EXPECT_TRUE(daemon.ok());
+    EXPECT_FALSE(daemon.serve_epoch(plan)) << dc.daemon_id;
+    EXPECT_FALSE(daemon.ok());
+    EXPECT_NE(daemon.last_error().find("no sink for node 1"), std::string::npos)
+        << daemon.last_error();
+    EXPECT_GE(daemon.stats().errors, 1u);
+    // Validation precedes launch: nothing was sent, no thread crashed.
+    EXPECT_EQ(daemon.stats().batches_sent, 0u);
+  }
+}
+
+TEST_F(CoreIntegrationTest, BackpressuredSinkDoesNotStarveOtherLanes) {
+  // Per-sink isolation: one clogged destination (tiny link HWM, consumer
+  // parked) must not park the shared encode pool — the other node's data
+  // keeps flowing. The old blocking flush dead-ends here: pool threads pile
+  // up on the clogged lane's full queue and every lane starves.
+  auto indexes = tfrecord::load_all_indexes(dir_.string());
+  PlannerConfig pc;
+  pc.batch_size = 4;
+  pc.epochs = 1;
+  Planner planner(indexes, pc);
+  auto plan = planner.plan_epoch(0, /*num_nodes=*/2);
+
+  net::SimLinkConfig clogged;
+  clogged.high_water_mark = 1;
+  auto ch0 = net::make_sim_channel(clogged);  // node 0: clogged destination
+  auto ch1 = net::make_sim_channel({});       // node 1: healthy destination
+  auto sink0 = std::shared_ptr<net::MessageSink>(std::move(ch0.sink));
+  auto sink1 = std::shared_ptr<net::MessageSink>(std::move(ch1.sink));
+
+  ReceiverConfig rc;
+  rc.num_senders = 1;
+  Receiver r0(rc, std::move(ch0.source));
+  Receiver r1(rc, std::move(ch1.source));
+
+  std::vector<tfrecord::ShardReader> readers;
+  for (const auto& idx : indexes) readers.emplace_back(idx);
+  DaemonConfig dc;
+  dc.pool_threads = 2;
+  dc.prefetch_depth = 2;
+  std::map<std::uint32_t, std::shared_ptr<net::MessageSink>> sinks{{0u, sink0}, {1u, sink1}};
+  Daemon daemon(dc, std::move(readers), sinks);
+
+  std::thread serve([&] {
+    EXPECT_TRUE(daemon.serve_epoch(plan));
+    sink0->close();
+    sink1->close();
+  });
+
+  // Node 1's FULL data set must arrive while node 0's consumer is parked.
+  // (Markers come later: sentinels wait for the clogged lane's sender.)
+  std::uint64_t want1 = 0;
+  for (const auto& node : plan.nodes) {
+    if (node.node_id == 1) want1 = node.total_samples();
+  }
+  ASSERT_GT(want1, 0u);
+  std::uint64_t got1 = 0;
+  while (got1 < want1) {
+    auto batch = r1.next();
+    ASSERT_TRUE(batch.has_value());
+    ASSERT_FALSE(batch->last);
+    got1 += batch->samples.size();
+  }
+  EXPECT_EQ(got1, want1);
+
+  // Unpark node 0 and drain both epochs to their markers.
+  std::uint64_t got0 = 0;
+  while (auto batch = r0.next()) {
+    if (batch->last) break;
+    got0 += batch->samples.size();
+  }
+  while (auto batch = r1.next()) {
+    if (batch->last) break;
+  }
+  serve.join();
+  EXPECT_EQ(got0 + got1, spec_.num_samples);
+  EXPECT_TRUE(daemon.ok());
+}
+
+// ---------------------------------- multi-daemon × multi-receiver topologies
+
+/// Fair-merges N message sources into one (each receiver's view of "every
+/// daemon that pushes to me").
+struct FanInSource final : net::MessageSource {
+  std::vector<std::unique_ptr<net::MessageSource>> inputs;
+  BoundedQueue<Payload> merged{64};
+  std::vector<std::thread> pumps;
+  std::atomic<int> open;
+
+  explicit FanInSource(std::vector<std::unique_ptr<net::MessageSource>> srcs)
+      : inputs(std::move(srcs)), open(static_cast<int>(inputs.size())) {
+    for (auto& s : inputs) {
+      pumps.emplace_back([this, src = s.get()] {
+        while (auto m = src->recv()) {
+          if (!merged.push(std::move(*m))) return;
+        }
+        if (--open == 0) merged.close();
+      });
+    }
+  }
+  ~FanInSource() override {
+    close();
+    for (auto& t : pumps) {
+      if (t.joinable()) t.join();
+    }
+  }
+  std::optional<Payload> recv() override { return merged.pop(); }
+  void close() override {
+    for (auto& s : inputs) s->close();
+    merged.close();
+  }
+};
+
+/// Drives a full 2-daemon × 2-receiver cluster epoch through the pipelined
+/// engine and checks per-node delivery against the plan. `full_dataset` picks
+/// scenario C2 (§5.2: every node consumes the whole dataset) over the default
+/// sharded partitioning (C1).
+class MultiDaemonMultiReceiver : public CoreIntegrationTest {
+ protected:
+  void run_cluster(bool full_dataset, std::uint32_t epochs) {
+    auto indexes = tfrecord::load_all_indexes(dir_.string());
+    ASSERT_EQ(indexes.size(), 3u);
+
+    PlannerConfig pc;
+    pc.batch_size = 8;
+    pc.epochs = epochs;
+    pc.threads_per_node = 2;
+    pc.full_dataset_per_node = full_dataset;
+    Planner planner(indexes, pc);
+
+    // Channels daemon d → node n; each receiver fans in both daemons.
+    std::shared_ptr<net::MessageSink> sinks[2][2];
+    std::unique_ptr<net::MessageSource> sources[2][2];
+    for (int d = 0; d < 2; ++d) {
+      for (int n = 0; n < 2; ++n) {
+        auto ch = net::make_sim_channel({});
+        sinks[d][n] = std::shared_ptr<net::MessageSink>(std::move(ch.sink));
+        sources[d][n] = std::move(ch.source);
+      }
+    }
+    ReceiverConfig rc;
+    rc.num_senders = 2;
+    std::vector<std::unique_ptr<Receiver>> receivers;
+    for (int n = 0; n < 2; ++n) {
+      std::vector<std::unique_ptr<net::MessageSource>> ins;
+      ins.push_back(std::move(sources[0][n]));
+      ins.push_back(std::move(sources[1][n]));
+      receivers.push_back(
+          std::make_unique<Receiver>(rc, std::make_unique<FanInSource>(std::move(ins))));
+    }
+
+    // Daemon 0 owns shards {0,1}; daemon 1 owns {2}. Both push to both nodes.
+    DaemonConfig dc;
+    dc.pool_threads = 3;
+    dc.prefetch_depth = 4;  // small queue: exercises enqueue backpressure
+    std::vector<std::unique_ptr<Daemon>> daemons;
+    for (int d = 0; d < 2; ++d) {
+      std::vector<tfrecord::ShardReader> readers;
+      if (d == 0) {
+        readers.emplace_back(indexes[0]);
+        readers.emplace_back(indexes[1]);
+      } else {
+        readers.emplace_back(indexes[2]);
+      }
+      dc.daemon_id = "d" + std::to_string(d);
+      std::map<std::uint32_t, std::shared_ptr<net::MessageSink>> dsinks{{0u, sinks[d][0]},
+                                                                        {1u, sinks[d][1]}};
+      daemons.push_back(std::make_unique<Daemon>(dc, std::move(readers), dsinks));
+    }
+
+    std::thread serve0([&] {
+      EXPECT_TRUE(daemons[0]->serve(planner, 2));
+      sinks[0][0]->close();
+      sinks[0][1]->close();
+    });
+    std::thread serve1([&] {
+      EXPECT_TRUE(daemons[1]->serve(planner, 2));
+      sinks[1][0]->close();
+      sinks[1][1]->close();
+    });
+
+    // Expected per-node sample-index sets, straight from the plan.
+    auto sample_index_of = [&](std::uint32_t shard, std::uint64_t record) {
+      for (const auto& idx : indexes) {
+        if (idx.shard_id == shard) return idx.records[record].sample_index;
+      }
+      throw std::logic_error("unknown shard in plan");
+    };
+
+    for (std::uint32_t e = 0; e < epochs; ++e) {
+      auto plan = planner.plan_epoch(e, 2);
+      for (int n = 0; n < 2; ++n) {
+        std::multiset<std::uint64_t> want;
+        for (const auto& worker : plan.nodes[n].workers) {
+          for (const auto& b : worker.batches) {
+            for (std::uint32_t i = 0; i < b.count; ++i) {
+              want.insert(sample_index_of(b.shard_id, b.first_record + i));
+            }
+          }
+        }
+        std::multiset<std::uint64_t> got;
+        std::size_t markers = 0;
+        while (auto batch = receivers[n]->next()) {
+          if (batch->last) {
+            ++markers;
+            break;  // exactly one aggregated marker ends the epoch
+          }
+          for (const auto& s : batch->samples) got.insert(s.index);
+        }
+        EXPECT_EQ(markers, 1u) << "node " << n << " epoch " << e;
+        EXPECT_EQ(got, want) << "node " << n << " epoch " << e;
+        if (full_dataset) {
+          EXPECT_EQ(got.size(), spec_.num_samples) << "C2: full dataset per node";
+        }
+      }
+    }
+    serve0.join();
+    serve1.join();
+
+    // Aggregated epoch markers consumed: one per (node, epoch), built from
+    // two sentinels each (num_senders=2).
+    for (int n = 0; n < 2; ++n) {
+      EXPECT_EQ(receivers[n]->stats().epochs_completed, epochs) << "node " << n;
+    }
+    std::uint64_t sent =
+        daemons[0]->stats().samples_sent + daemons[1]->stats().samples_sent;
+    std::uint64_t per_epoch = full_dataset ? 2 * spec_.num_samples : spec_.num_samples;
+    EXPECT_EQ(sent, per_epoch * epochs);
+    EXPECT_TRUE(daemons[0]->ok() && daemons[1]->ok());
+  }
+};
+
+TEST_F(MultiDaemonMultiReceiver, ShardedPartitionedC1) {
+  // Scenario C1: shards partitioned across the two compute nodes — the
+  // union of the nodes' sample sets is the dataset, disjointly.
+  run_cluster(/*full_dataset=*/false, /*epochs=*/2);
+}
+
+TEST_F(MultiDaemonMultiReceiver, FullDatasetPerNodeC2) {
+  // Scenario C2 (§5.2): every node consumes the full dataset; both daemons
+  // serve both nodes their locally-owned half.
+  run_cluster(/*full_dataset=*/true, /*epochs=*/2);
+}
+
 // --------------------------------------------- end-to-end property sweep
 
 /// Property: for ANY combination of shard count, batch size, daemon
@@ -474,6 +743,7 @@ struct E2eParams {
   std::uint32_t threads;
   std::size_t streams;
   Transport transport;
+  bool pipelined = true;
 };
 
 class EndToEndSweep : public ::testing::TestWithParam<E2eParams> {};
@@ -495,6 +765,7 @@ TEST_P(EndToEndSweep, EpochAlwaysCleanAcrossConfigs) {
   cfg.threads_per_node = p.threads;
   cfg.num_streams = p.streams;
   cfg.transport = p.transport;
+  cfg.pipelined = p.pipelined;
   EmlioService service(cfg);
   service.start();
 
@@ -526,7 +797,10 @@ INSTANTIATE_TEST_SUITE_P(
                       E2eParams{2, 8, 2, 2, Transport::kTcp},
                       E2eParams{3, 5, 3, 4, Transport::kTcp},
                       E2eParams{5, 16, 1, 3, Transport::kTcp},
-                      E2eParams{1, 9, 4, 2, Transport::kTcp}));
+                      E2eParams{1, 9, 4, 2, Transport::kTcp},
+                      // Legacy serial engine stays covered too:
+                      E2eParams{3, 8, 2, 1, Transport::kInProcess, /*pipelined=*/false},
+                      E2eParams{4, 7, 3, 2, Transport::kTcp, /*pipelined=*/false}));
 
 }  // namespace
 }  // namespace emlio::core

@@ -40,13 +40,34 @@ TEST(Socket, ConnectSendRecv) {
   server.join();
 }
 
+TEST(Socket, ConnectResolvesHostnames) {
+  // connect() must accept hostnames, not only IPv4 literals — the daemon's
+  // --connect flag takes "storage-node:port" in real deployments. localhost
+  // resolves everywhere and must reach the loopback listener.
+  TcpListener listener(0);
+  std::thread server([&] {
+    auto conn = listener.accept();
+    ASSERT_TRUE(conn.has_value());
+    std::vector<std::uint8_t> buf(3);
+    ASSERT_TRUE(conn->recv_all(buf));
+    conn->send_all(buf);
+  });
+  auto client = TcpStream::connect("localhost", listener.port());
+  auto hello = msg({42, 43, 44});
+  client.send_all(hello);
+  std::vector<std::uint8_t> echo(3);
+  ASSERT_TRUE(client.recv_all(echo));
+  EXPECT_EQ(echo, hello);
+  server.join();
+}
+
 TEST(Socket, ConnectRefusedThrows) {
   // Port 1 on loopback is almost certainly closed.
   EXPECT_THROW(TcpStream::connect("127.0.0.1", 1), std::runtime_error);
 }
 
-TEST(Socket, InvalidAddressThrows) {
-  EXPECT_THROW(TcpStream::connect("not-an-ip", 80), std::runtime_error);
+TEST(Socket, UnresolvableHostThrows) {
+  EXPECT_THROW(TcpStream::connect("no-such-host.invalid.", 80), std::runtime_error);
 }
 
 TEST(Socket, CleanEofReturnsFalse) {

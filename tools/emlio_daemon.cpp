@@ -4,8 +4,13 @@
 // deployment of the paper's architecture.
 //
 //   emlio_receive --port 5555 &            # start the compute side first
-//   emlio_daemon --data DIR --connect 127.0.0.1:5555 \
+//   emlio_daemon --data DIR --connect localhost:5555
 //       [--batch 128] [--epochs 1] [--threads 2] [--streams 2] [--hwm 16]
+//       [--pool 0] [--prefetch 16] [--serial]
+//
+// --pool sizes the shared read+encode thread pool (0 = auto), --prefetch the
+// per-sink encoded-batch queue (the HWM of the storage-side pipeline);
+// --serial falls back to the legacy one-thread-per-worker loop for A/B runs.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -19,6 +24,8 @@ using namespace emlio;
 int main(int argc, char** argv) {
   std::string data, connect_to = "127.0.0.1:5555";
   std::size_t batch = 128, threads = 2, streams = 2, hwm = 16;
+  std::size_t pool = 0, prefetch = 16;
+  bool serial = false;
   std::uint32_t epochs = 1;
   std::uint64_t seed = 1234;
   for (int i = 1; i < argc; ++i) {
@@ -33,10 +40,14 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--threads")) threads = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--streams")) streams = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--hwm")) hwm = std::strtoul(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--pool")) pool = std::strtoul(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--prefetch")) prefetch = std::strtoul(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--serial")) serial = true;
     else if (!std::strcmp(argv[i], "--seed")) seed = std::strtoull(next(), nullptr, 10);
     else {
       std::fprintf(stderr, "usage: emlio_daemon --data DIR --connect HOST:PORT "
-                           "[--batch B] [--epochs E] [--threads T] [--streams S] [--hwm H]\n");
+                           "[--batch B] [--epochs E] [--threads T] [--streams S] [--hwm H] "
+                           "[--pool N] [--prefetch D] [--serial]\n");
       return 2;
     }
   }
@@ -76,14 +87,28 @@ int main(int argc, char** argv) {
     std::vector<tfrecord::ShardReader> readers;
     for (const auto& idx : indexes) readers.emplace_back(idx);
     std::map<std::uint32_t, std::shared_ptr<net::MessageSink>> sinks{{0u, push}};
-    core::Daemon daemon(core::DaemonConfig{"daemon0", false}, std::move(readers), sinks);
-    daemon.serve(planner, /*num_nodes=*/1);
+    core::DaemonConfig dc;
+    dc.daemon_id = "daemon0";
+    dc.pipelined = !serial;
+    dc.pool_threads = pool;
+    dc.prefetch_depth = prefetch;
+    core::Daemon daemon(dc, std::move(readers), sinks);
+    bool clean = daemon.serve(planner, /*num_nodes=*/1);
     push->close();
     auto stats = daemon.stats();
     std::printf("emlio_daemon: done — %llu batches, %llu samples, %.1f MB serialized\n",
                 static_cast<unsigned long long>(stats.batches_sent),
                 static_cast<unsigned long long>(stats.samples_sent),
                 static_cast<double>(stats.bytes_sent) / 1e6);
+    std::printf("emlio_daemon: pipeline — %llu enqueue stalls (encode waited on wire), "
+                "%llu sender stalls (wire waited on disk), peak queue depth %llu\n",
+                static_cast<unsigned long long>(stats.enqueue_stalls),
+                static_cast<unsigned long long>(stats.sender_stalls),
+                static_cast<unsigned long long>(stats.queue_peak_depth));
+    if (!clean) {
+      std::fprintf(stderr, "emlio_daemon: FAILED: %s\n", daemon.last_error().c_str());
+      return 1;
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "emlio_daemon: %s\n", e.what());

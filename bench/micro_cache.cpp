@@ -1,0 +1,198 @@
+// Cold-vs-warm A/B for the daemon-side sample cache (src/cache).
+//
+// One daemon (all shards), one sink over a latency/bandwidth-shaped link,
+// three epochs of the same plan — the cross-epoch redundancy the cache
+// exists to kill. Three configurations:
+//
+//   off   — no cache: every epoch re-reads and re-parses every record;
+//   fit   — budget comfortably above the dataset: epoch 0 is the cold fill,
+//           epochs 1..2 must touch storage ZERO times (the acceptance
+//           criterion; enforced, not just printed);
+//   tight — budget ~1/4 of the dataset: the CLOCK hand is forced to evict
+//           continuously, exercising the pinned-skip path under load.
+//
+// Per-epoch wall time and the epoch-over-epoch deltas of store_reads /
+// cache counters are printed and appended as JSON rows (bench=micro_cache)
+// to emlio_bench_results.jsonl; CRC verification is ON so a cold read
+// carries real parse cost for the warm epochs to dodge.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/daemon.h"
+#include "core/planner.h"
+#include "core/receiver.h"
+#include "net/sim_channel.h"
+#include "workload/materialize.h"
+
+using namespace emlio;
+
+namespace {
+
+struct EpochRow {
+  double seconds = 0.0;
+  std::uint64_t store_reads = 0;  // delta within the epoch
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t pinned_skips = 0;
+};
+
+struct RunResult {
+  std::vector<EpochRow> epochs;
+  core::DaemonStats final_stats;
+};
+
+RunResult run_epochs(const std::vector<tfrecord::ShardIndex>& indexes,
+                     const core::Planner& planner, const workload::DatasetSpec& spec,
+                     std::uint32_t num_epochs, std::size_t cache_bytes) {
+  net::SimLinkConfig link;
+  link.rtt_ms = 1.0;
+  link.bandwidth_bytes_per_sec = 600e6;
+  auto ch = net::make_sim_channel(link);
+  std::shared_ptr<net::MessageSink> sink(std::move(ch.sink));
+
+  core::ReceiverConfig rc;
+  rc.num_senders = 1;
+  rc.queue_capacity = 16;
+  core::Receiver recv(rc, std::move(ch.source));
+
+  std::vector<tfrecord::ShardReader> readers;
+  for (const auto& idx : indexes) readers.emplace_back(idx);
+  core::DaemonConfig dc;
+  dc.daemon_id = cache_bytes ? "cached" : "uncached";
+  dc.verify_crc = true;  // real parse cost on every storage read
+  dc.cache_bytes = cache_bytes;
+  std::map<std::uint32_t, std::shared_ptr<net::MessageSink>> sinks{{0u, sink}};
+  core::Daemon daemon(dc, std::move(readers), sinks);
+
+  RunResult result;
+  core::DaemonStats prev;
+  for (std::uint32_t e = 0; e < num_epochs; ++e) {
+    auto plan = planner.plan_epoch(e, /*num_nodes=*/1);
+    auto t0 = std::chrono::steady_clock::now();
+    std::thread serve([&] { daemon.serve_epoch(plan); });
+    std::uint64_t samples = 0;
+    while (auto b = recv.next()) {
+      if (b->last) break;
+      samples += b->samples.size();
+    }
+    serve.join();
+    auto t1 = std::chrono::steady_clock::now();
+    if (samples != spec.num_samples) {
+      std::fprintf(stderr, "micro_cache: epoch %u delivered %llu samples, want %llu\n", e,
+                   static_cast<unsigned long long>(samples),
+                   static_cast<unsigned long long>(spec.num_samples));
+      std::exit(1);
+    }
+    auto now = daemon.stats();
+    EpochRow row;
+    row.seconds = std::chrono::duration<double>(t1 - t0).count();
+    row.store_reads = now.store_reads - prev.store_reads;
+    row.hits = now.cache.hits - prev.cache.hits;
+    row.misses = now.cache.misses - prev.cache.misses;
+    row.evictions = now.cache.evictions - prev.cache.evictions;
+    row.pinned_skips = now.cache.pinned_skips - prev.cache.pinned_skips;
+    result.epochs.push_back(row);
+    prev = now;
+  }
+  sink->close();
+  recv.close();
+  result.final_stats = daemon.stats();
+  return result;
+}
+
+void emit(const char* mode, std::size_t cache_bytes, const RunResult& r) {
+  for (std::size_t e = 0; e < r.epochs.size(); ++e) {
+    const auto& row = r.epochs[e];
+    std::printf("  %-5s epoch %zu: %7.3f s  store_reads=%-4llu hits=%-5llu misses=%-5llu "
+                "evictions=%-5llu pinned_skips=%llu\n",
+                mode, e, row.seconds, static_cast<unsigned long long>(row.store_reads),
+                static_cast<unsigned long long>(row.hits),
+                static_cast<unsigned long long>(row.misses),
+                static_cast<unsigned long long>(row.evictions),
+                static_cast<unsigned long long>(row.pinned_skips));
+    json::Object j;
+    j["bench"] = "micro_cache";
+    j["mode"] = std::string(mode);
+    j["cache_bytes"] = static_cast<std::int64_t>(cache_bytes);
+    j["epoch"] = static_cast<std::int64_t>(e);
+    j["epoch_seconds"] = row.seconds;
+    j["store_reads"] = row.store_reads;
+    j["cache_hits"] = row.hits;
+    j["cache_misses"] = row.misses;
+    j["cache_evictions"] = row.evictions;
+    j["cache_pinned_skips"] = row.pinned_skips;
+    bench::append_json_line(json::Value(std::move(j)));
+  }
+}
+
+}  // namespace
+
+int main() {
+  namespace fs = std::filesystem;
+  auto dir = fs::temp_directory_path() / "emlio_micro_cache";
+  fs::remove_all(dir);
+
+  // ~32 MB across 4 shards; every epoch serves all of it to one node.
+  auto spec = workload::presets::tiny(1024, 32 * 1024);
+  workload::materialize_tfrecord(spec, dir.string(), /*num_shards=*/4);
+  auto indexes = tfrecord::load_all_indexes(dir.string());
+
+  core::PlannerConfig pc;
+  pc.batch_size = 32;
+  pc.epochs = 3;
+  pc.threads_per_node = 1;
+  core::Planner planner(indexes, pc);
+  const std::uint64_t dataset_bytes = spec.total_bytes();
+
+  std::printf("micro_cache: %zu shards, %llu samples (%.1f MB), B=%zu, CRC on, 3 epochs\n",
+              indexes.size(), static_cast<unsigned long long>(planner.dataset_size()),
+              static_cast<double>(dataset_bytes) / 1e6, pc.batch_size);
+
+  auto off = run_epochs(indexes, planner, spec, 3, /*cache_bytes=*/0);
+  auto fit = run_epochs(indexes, planner, spec, 3, /*cache_bytes=*/dataset_bytes * 2);
+  auto tight = run_epochs(indexes, planner, spec, 3, /*cache_bytes=*/dataset_bytes / 4);
+
+  emit("off", 0, off);
+  emit("fit", dataset_bytes * 2, fit);
+  emit("tight", dataset_bytes / 4, tight);
+
+  double cold = fit.epochs[0].seconds;
+  double warm = (fit.epochs[1].seconds + fit.epochs[2].seconds) / 2.0;
+  std::printf("  fit: cold %.3f s -> warm %.3f s (%.2fx); peak resident %.1f MB of %.1f MB "
+              "budget\n",
+              cold, warm, cold / warm,
+              static_cast<double>(fit.final_stats.cache.resident_bytes_peak) / 1e6,
+              static_cast<double>(dataset_bytes) * 2 / 1e6);
+
+  // Acceptance criterion: with the dataset inside the budget, warm epochs
+  // never touch storage.
+  bool ok = true;
+  for (std::size_t e = 1; e < fit.epochs.size(); ++e) {
+    if (fit.epochs[e].store_reads != 0) {
+      std::fprintf(stderr, "micro_cache: FAIL — warm epoch %zu still did %llu storage reads "
+                           "with the dataset fully cached\n",
+                   e, static_cast<unsigned long long>(fit.epochs[e].store_reads));
+      ok = false;
+    }
+  }
+  // And the tight budget must actually cycle: evictions happened, yet the
+  // resident footprint stayed inside the budget.
+  if (tight.final_stats.cache.evictions == 0) {
+    std::fprintf(stderr, "micro_cache: FAIL — tight budget produced no evictions\n");
+    ok = false;
+  }
+  if (tight.final_stats.cache.resident_bytes_peak > dataset_bytes / 4) {
+    std::fprintf(stderr, "micro_cache: FAIL — tight budget exceeded: peak %llu > %llu\n",
+                 static_cast<unsigned long long>(tight.final_stats.cache.resident_bytes_peak),
+                 static_cast<unsigned long long>(dataset_bytes / 4));
+    ok = false;
+  }
+
+  fs::remove_all(dir);
+  return ok ? 0 : 1;
+}

@@ -124,6 +124,28 @@ json::Value row_for(const char* engine, const RunResult& r, double speedup) {
 
 int main() {
   namespace fs = std::filesystem;
+
+  // Tie-by-construction guard (ROADMAP caveat): on a single hardware thread
+  // the read+encode pool cannot overlap the sender threads — both engines do
+  // the same CPU work at the same wire pacing and the A/B is meaningless.
+  // Skip explicitly (and record the skip) instead of publishing a ~1.0x
+  // "speedup" that reads like a pipeline regression. hardware_concurrency()
+  // == 0 means "unknown", not single-core — run the A/B there.
+  if (unsigned skip_cores = std::thread::hardware_concurrency();
+      skip_cores != 0 && skip_cores < 2) {
+    std::printf("micro_daemon_pipeline: SKIP — %u hardware thread(s); the serial and "
+                "pipelined engines tie by construction on <2 cores (same CPU work, same "
+                "wire pacing). Run on a >=2-core host for a meaningful A/B.\n",
+                skip_cores);
+    json::Object row;
+    row["bench"] = "micro_daemon_pipeline";
+    row["skipped"] = true;
+    row["reason"] = "fewer than 2 hardware threads: engines tie by construction";
+    row["cores"] = static_cast<std::int64_t>(skip_cores);
+    bench::append_json_line(json::Value(std::move(row)));
+    return 0;
+  }
+
   auto dir = fs::temp_directory_path() / "emlio_micro_daemon_pipeline";
   fs::remove_all(dir);
 
@@ -159,10 +181,6 @@ int main() {
   std::printf("  serial    : %.3f s\n", serial.seconds);
   std::printf("  pipelined : %.3f s  (pool=%zu, prefetch=16)  speedup %.2fx\n", piped.seconds,
               pool, speedup);
-  if (cores < 2) {
-    std::printf("  note: single-core host — read+encode cannot overlap the senders, so the "
-                "engines tie here; the pipeline's win needs >=2 cores (see CI).\n");
-  }
   std::printf("  pipelined balance: %llu enqueue stalls / %llu sender stalls, peak depth %llu\n",
               static_cast<unsigned long long>(piped.stats.enqueue_stalls),
               static_cast<unsigned long long>(piped.stats.sender_stalls),

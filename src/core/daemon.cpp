@@ -62,6 +62,12 @@ Daemon::Daemon(DaemonConfig config, std::vector<tfrecord::ShardReader> readers,
     std::uint32_t id = r.index().shard_id;
     readers_.emplace(id, std::move(r));
   }
+  if (config_.cache_bytes > 0) {
+    cache::SampleCacheConfig cc;
+    cc.capacity_bytes = config_.cache_bytes;
+    cc.policy = config_.cache_policy;
+    cache_ = std::make_shared<cache::SampleCache>(cc);
+  }
 }
 
 std::vector<std::uint32_t> Daemon::shard_ids() const {
@@ -80,7 +86,35 @@ DaemonStats Daemon::stats() const {
   s.sender_stalls = sender_stalls_.load();
   s.queue_peak_depth = queue_peak_depth_.load();
   s.errors = errors_.load();
+  s.store_reads = store_reads_.load();
+  s.store_records_read = store_records_read_.load();
+  if (cache_) s.cache = cache_->stats();
   return s;
+}
+
+json::Value to_json(const DaemonStats& s) {
+  json::Object o;
+  o["batches_sent"] = s.batches_sent;
+  o["samples_sent"] = s.samples_sent;
+  o["bytes_sent"] = s.bytes_sent;
+  o["encode_pool_reused"] = s.encode_pool.reused;
+  o["encode_pool_allocated"] = s.encode_pool.allocated;
+  o["enqueue_stalls"] = s.enqueue_stalls;
+  o["sender_stalls"] = s.sender_stalls;
+  o["queue_peak_depth"] = s.queue_peak_depth;
+  o["errors"] = s.errors;
+  o["store_reads"] = s.store_reads;
+  o["store_records_read"] = s.store_records_read;
+  o["cache_hits"] = s.cache.hits;
+  o["cache_misses"] = s.cache.misses;
+  o["cache_inserts"] = s.cache.inserts;
+  o["cache_evictions"] = s.cache.evictions;
+  o["cache_pinned_skips"] = s.cache.pinned_skips;
+  o["cache_rejected"] = s.cache.rejected;
+  o["cache_resident_bytes"] = s.cache.resident_bytes;
+  o["cache_resident_bytes_peak"] = s.cache.resident_bytes_peak;
+  o["cache_entries"] = s.cache.entries;
+  return json::Value(std::move(o));
 }
 
 bool Daemon::ok() const {
@@ -115,18 +149,53 @@ msgpack::WireBatch Daemon::build_batch(const BatchAssignment& a) const {
   batch.batch_id = a.batch_id;
   batch.node_id = a.node_id;
   batch.shard_id = a.shard_id;
+  batch.samples.resize(a.count);
+  for (std::size_t i = 0; i < a.count; ++i) {
+    const auto& entry = index.records[a.first_record + i];
+    batch.samples[i].index = entry.sample_index;
+    batch.samples[i].label = entry.label;
+  }
+
+  // Cache pass first: a hit hands the encoder an owning view of the cached
+  // bytes — no shard read, no CRC re-verification. Misses fall through to
+  // one contiguous slice below.
+  std::vector<std::size_t> missing;
+  if (cache_) {
+    missing.reserve(a.count);
+    for (std::size_t i = 0; i < a.count; ++i) {
+      const auto& entry = index.records[a.first_record + i];
+      if (auto hit = cache_->find({a.shard_id, entry.sample_index})) {
+        batch.samples[i].bytes = std::move(*hit);
+      } else {
+        missing.push_back(i);
+      }
+    }
+    if (missing.empty()) return batch;  // whole-batch hit: storage untouched
+  }
+
   // One contiguous slice: B records, zero-copy views into the mmap. The
   // WireSamples BORROW those views (the reader outlives the encode below),
   // so the record bytes are touched exactly once: mmap → encoder output.
+  // (A partially-hit batch still pays one slice; only its misses are
+  // repopulated from it.)
   auto views = reader.slice(a.first_record, a.count, config_.verify_crc);
-  batch.samples.reserve(views.size());
-  for (std::size_t i = 0; i < views.size(); ++i) {
+  store_reads_.fetch_add(1, std::memory_order_relaxed);
+  store_records_read_.fetch_add(views.size(), std::memory_order_relaxed);
+  if (!cache_) {
+    for (std::size_t i = 0; i < views.size(); ++i) batch.samples[i].bytes = views[i];
+    return batch;
+  }
+  for (std::size_t i : missing) {
     const auto& entry = index.records[a.first_record + i];
-    msgpack::WireSample s;
-    s.index = entry.sample_index;
-    s.label = entry.label;
-    s.bytes = views[i];
-    batch.samples.push_back(std::move(s));
+    // The insert copies mmap bytes into cache-owned storage and returns a
+    // view of that copy; when the cache cannot admit the entry (budget full
+    // of pinned batches, oversized record) the borrowed mmap view serves
+    // this batch and the bytes simply stay uncached.
+    if (auto cached = cache_->insert({a.shard_id, entry.sample_index}, views[i])) {
+      batch.samples[i].bytes = std::move(*cached);
+    } else {
+      batch.samples[i].bytes = views[i];
+    }
   }
   return batch;
 }

@@ -30,10 +30,12 @@
 #include <string>
 #include <vector>
 
+#include "cache/sample_cache.h"
 #include "common/clock.h"
 #include "common/thread_pool.h"
 #include "common/timestamp_logger.h"
 #include "core/planner.h"
+#include "json/json.h"
 #include "msgpack/batch_codec.h"
 #include "net/channel.h"
 #include "tfrecord/reader.h"
@@ -53,6 +55,12 @@ struct DaemonConfig {
   /// Per-sink encoded-batch prefetch queue capacity — the paper's HWM. Also
   /// bounds how many encode jobs may be in flight per sink.
   std::size_t prefetch_depth = 16;
+  /// Sample-cache byte budget. 0 (default) disables the cache; otherwise
+  /// record payloads are kept in memory keyed by (shard, sample index), so
+  /// warm epochs skip the shard read — and CRC verification — entirely
+  /// (see src/cache/sample_cache.h). Works under both engines.
+  std::size_t cache_bytes = 0;
+  cache::CachePolicy cache_policy = cache::CachePolicy::kClock;
 };
 
 struct DaemonStats {
@@ -67,7 +75,18 @@ struct DaemonStats {
                                       ///< empty (wire outran disk/encode)
   std::uint64_t queue_peak_depth = 0; ///< max prefetch-queue occupancy seen
   std::uint64_t errors = 0;           ///< plan-validation + worker failures
+  // Storage-read accounting (both engines). With the sample cache warm and
+  // the dataset inside the budget, whole warm epochs add zero here — the
+  // acceptance criterion bench_micro_cache asserts.
+  std::uint64_t store_reads = 0;         ///< contiguous shard slice reads
+  std::uint64_t store_records_read = 0;  ///< records those reads covered
+  cache::SampleCacheStats cache;         ///< zeros when the cache is off
 };
+
+/// Serialize the full stats block (throughput + pipeline + cache) as one
+/// flat JSON object — `emlio_daemon --stats-json` and the micro benches
+/// emit this so downstream tooling stops scraping stdout.
+json::Value to_json(const DaemonStats& stats);
 
 class Daemon {
  public:
@@ -139,6 +158,10 @@ class Daemon {
   /// Encode buffers cycle through here: serialized, sent, recycled when the
   /// transport (or receiver) drops the last reference.
   std::shared_ptr<BufferPool> pool_ = BufferPool::create();
+  /// Cross-epoch sample cache (null when DaemonConfig::cache_bytes == 0).
+  /// shared_ptr so in-flight batch views built from it stay valid however
+  /// long the transport holds them.
+  std::shared_ptr<cache::SampleCache> cache_;
   /// Shared read+encode pool (pipelined engine; created on first use so
   /// serial daemons spawn no extra threads).
   std::unique_ptr<ThreadPool> encode_pool_;
@@ -150,6 +173,9 @@ class Daemon {
   std::atomic<std::uint64_t> sender_stalls_{0};
   std::atomic<std::uint64_t> queue_peak_depth_{0};
   std::atomic<std::uint64_t> errors_{0};
+  // mutable: bumped inside const build_batch (a read-side cache effect).
+  mutable std::atomic<std::uint64_t> store_reads_{0};
+  mutable std::atomic<std::uint64_t> store_records_read_{0};
 
   mutable std::mutex error_mutex_;
   std::string last_error_;

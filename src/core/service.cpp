@@ -22,6 +22,12 @@ EmlioService::EmlioService(ServiceConfig config)
   if (indexes_.empty()) {
     throw std::runtime_error("emlio service: no shards found in " + config_.dataset_dir);
   }
+  if (!cache::parse_policy(config_.cache_policy)) {
+    // Fail at construction, like every other config error — start() has
+    // already set started_ and begun wiring threads by the time it runs.
+    throw std::runtime_error("emlio service: unknown cache policy '" + config_.cache_policy +
+                             "' (expected \"clock\" or \"lru\")");
+  }
   PlannerConfig pc;
   pc.batch_size = config_.batch_size;
   pc.epochs = config_.epochs;
@@ -78,6 +84,8 @@ void EmlioService::start() {
   dc.pipelined = config_.pipelined;
   dc.pool_threads = config_.pipeline_pool_threads;
   dc.prefetch_depth = config_.prefetch_depth ? config_.prefetch_depth : config_.high_water_mark;
+  dc.cache_bytes = config_.cache_bytes;
+  dc.cache_policy = *cache::parse_policy(config_.cache_policy);  // validated in ctor
   daemon_ = std::make_unique<Daemon>(dc, std::move(readers), std::move(sinks), &timestamps_);
 
   ReceiverConfig rc;

@@ -40,6 +40,12 @@ struct ServiceConfig {
   std::size_t pipeline_pool_threads = 0;
   std::size_t prefetch_depth = 0;
   bool pipelined = true;
+  /// Daemon-side sample cache: byte budget (0 = off) and eviction policy
+  /// ("clock" or "lru" — parsed by cache::parse_policy; anything else makes
+  /// start() throw). When the dataset fits the budget, warm epochs are
+  /// served entirely from memory (DaemonStats::store_reads stops growing).
+  std::size_t cache_bytes = 0;
+  std::string cache_policy = "clock";
   std::uint64_t seed = 1234;
   bool shuffle = true;
   bool verify_crc = false;

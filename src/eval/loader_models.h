@@ -76,6 +76,14 @@ struct LoaderParams {
   /// no storage-side encoded-batch queue modeled (pre-pipeline behaviour).
   std::size_t emlio_pool_threads = 0;
   std::size_t emlio_prefetch_depth = 0;
+  /// Daemon-side sample cache (mirrors DaemonConfig::cache_bytes, in MB;
+  /// 0 = off). Meaningful with emlio_cache_warm: a warm (second-or-later)
+  /// epoch serves the cached fraction of the dataset straight from daemon
+  /// memory — those batches skip the disk/NFS read stage entirely, exactly
+  /// like the real daemon's whole-batch cache hits. Cold epochs and the
+  /// uncached remainder read storage as before.
+  std::size_t emlio_cache_mb = 0;
+  bool emlio_cache_warm = false;
   std::size_t emlio_hwm = 16;               ///< ZMQ HWM per stream
   std::size_t emlio_streams = 4;            ///< parallel TCP streams
   std::size_t emlio_prefetch_q = 4;         ///< DALI external_source queue

@@ -7,24 +7,32 @@
 //   emlio_daemon --data DIR --connect localhost:5555
 //       [--batch 128] [--epochs 1] [--threads 2] [--streams 2] [--hwm 16]
 //       [--pool 0] [--prefetch 16] [--serial]
+//       [--cache-mb 0] [--cache-policy clock|lru] [--stats-json PATH]
 //
 // --pool sizes the shared read+encode thread pool (0 = auto), --prefetch the
 // per-sink encoded-batch queue (the HWM of the storage-side pipeline);
 // --serial falls back to the legacy one-thread-per-worker loop for A/B runs.
+// --cache-mb gives the sample cache a byte budget (0 = off): record payloads
+// stay resident across epochs so warm epochs skip shard reads entirely;
+// --cache-policy picks its eviction policy. --stats-json dumps the final
+// DaemonStats (throughput + pipeline + cache counters) as a JSON file at
+// exit, so harnesses read structured results instead of scraping stdout.
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "core/daemon.h"
 #include "core/planner.h"
+#include "json/json.h"
 #include "net/push_pull.h"
 
 using namespace emlio;
 
 int main(int argc, char** argv) {
   std::string data, connect_to = "127.0.0.1:5555";
+  std::string cache_policy = "clock", stats_json;
   std::size_t batch = 128, threads = 2, streams = 2, hwm = 16;
-  std::size_t pool = 0, prefetch = 16;
+  std::size_t pool = 0, prefetch = 16, cache_mb = 0;
   bool serial = false;
   std::uint32_t epochs = 1;
   std::uint64_t seed = 1234;
@@ -44,12 +52,22 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--prefetch")) prefetch = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--serial")) serial = true;
     else if (!std::strcmp(argv[i], "--seed")) seed = std::strtoull(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--cache-mb")) cache_mb = std::strtoul(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--cache-policy")) cache_policy = next();
+    else if (!std::strcmp(argv[i], "--stats-json")) stats_json = next();
     else {
       std::fprintf(stderr, "usage: emlio_daemon --data DIR --connect HOST:PORT "
                            "[--batch B] [--epochs E] [--threads T] [--streams S] [--hwm H] "
-                           "[--pool N] [--prefetch D] [--serial]\n");
+                           "[--pool N] [--prefetch D] [--serial] "
+                           "[--cache-mb MB] [--cache-policy clock|lru] [--stats-json PATH]\n");
       return 2;
     }
+  }
+  auto policy = cache::parse_policy(cache_policy);
+  if (!policy) {
+    std::fprintf(stderr, "emlio_daemon: unknown --cache-policy '%s' (expected clock or lru)\n",
+                 cache_policy.c_str());
+    return 2;
   }
   if (data.empty()) {
     std::fprintf(stderr, "emlio_daemon: --data is required\n");
@@ -92,6 +110,8 @@ int main(int argc, char** argv) {
     dc.pipelined = !serial;
     dc.pool_threads = pool;
     dc.prefetch_depth = prefetch;
+    dc.cache_bytes = cache_mb << 20;
+    dc.cache_policy = *policy;
     core::Daemon daemon(dc, std::move(readers), sinks);
     bool clean = daemon.serve(planner, /*num_nodes=*/1);
     push->close();
@@ -105,6 +125,20 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.enqueue_stalls),
                 static_cast<unsigned long long>(stats.sender_stalls),
                 static_cast<unsigned long long>(stats.queue_peak_depth));
+    if (cache_mb > 0) {
+      std::printf("emlio_daemon: cache (%s, %zu MB) — %llu hits / %llu misses, "
+                  "%llu evictions (%llu pinned skips), peak resident %.1f MB\n",
+                  cache_policy.c_str(), cache_mb,
+                  static_cast<unsigned long long>(stats.cache.hits),
+                  static_cast<unsigned long long>(stats.cache.misses),
+                  static_cast<unsigned long long>(stats.cache.evictions),
+                  static_cast<unsigned long long>(stats.cache.pinned_skips),
+                  static_cast<double>(stats.cache.resident_bytes_peak) / 1e6);
+    }
+    if (!stats_json.empty()) {
+      json::write_file(stats_json, core::to_json(stats));
+      std::printf("emlio_daemon: stats written to %s\n", stats_json.c_str());
+    }
     if (!clean) {
       std::fprintf(stderr, "emlio_daemon: FAILED: %s\n", daemon.last_error().c_str());
       return 1;

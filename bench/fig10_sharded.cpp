@@ -40,6 +40,8 @@ int main() {
         // ::prefetch_depth).
         cfg.params.emlio_pool_threads = 4;
         cfg.params.emlio_prefetch_depth = 16;
+        // ...and the pooled receiver decoding the 2-daemon fan-in.
+        cfg.params.emlio_decode_threads = 4;
       }
       const PaperCell& cell = kind == eval::LoaderKind::kDali ? kDali[r] : kEmlio[r];
       eval::FigureRow row;
@@ -60,6 +62,7 @@ int main() {
       cfg.name += "_cache_warm";
       cfg.params.emlio_pool_threads = 4;
       cfg.params.emlio_prefetch_depth = 16;
+      cfg.params.emlio_decode_threads = 4;
       cfg.params.emlio_cache_mb = dataset.total_bytes() / (1u << 20) + 1;
       cfg.params.emlio_cache_warm = true;
       eval::FigureRow row;

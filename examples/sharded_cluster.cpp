@@ -54,42 +54,20 @@ int main() {
     }
   }
 
-  // Receivers: each merges the two daemons' channels.
-  struct MergedSource final : net::MessageSource {
-    std::unique_ptr<net::MessageSource> a, b;
-    BoundedQueue<Payload> merged{64};
-    std::thread ta, tb;
-    std::atomic<int> open{2};
-    MergedSource(std::unique_ptr<net::MessageSource> x, std::unique_ptr<net::MessageSource> y)
-        : a(std::move(x)), b(std::move(y)) {
-      auto pump = [this](net::MessageSource* src) {
-        while (auto m = src->recv()) {
-          if (!merged.push(std::move(*m))) return;
-        }
-        if (--open == 0) merged.close();
-      };
-      ta = std::thread(pump, a.get());
-      tb = std::thread(pump, b.get());
-    }
-    ~MergedSource() override {
-      close();
-      if (ta.joinable()) ta.join();
-      if (tb.joinable()) tb.join();
-    }
-    std::optional<Payload> recv() override { return merged.pop(); }
-    void close() override {
-      a->close();
-      b->close();
-      merged.close();
-    }
-  };
-
+  // Receivers: native multi-source fan-in — one ingest thread per daemon
+  // channel, decoded by a small pool and re-sequenced before delivery (no
+  // hand-built mux adapter needed).
   core::ReceiverConfig rc;
   rc.num_senders = 2;
-  core::Receiver recv0(rc, std::make_unique<MergedSource>(std::move(sources[0][0]),
-                                                          std::move(sources[1][0])));
-  core::Receiver recv1(rc, std::make_unique<MergedSource>(std::move(sources[0][1]),
-                                                          std::move(sources[1][1])));
+  rc.decode_threads = 2;
+  auto fan_in = [&](int node) {
+    std::vector<std::unique_ptr<net::MessageSource>> ins;
+    ins.push_back(std::move(sources[0][node]));
+    ins.push_back(std::move(sources[1][node]));
+    return ins;
+  };
+  core::Receiver recv0(rc, fan_in(0));
+  core::Receiver recv1(rc, fan_in(1));
 
   // Daemons: daemon 0 owns shards {0,1}, daemon 1 owns shards {2,3}.
   auto make_daemon = [&](int id, std::initializer_list<std::size_t> shard_positions) {

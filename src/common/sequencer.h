@@ -1,0 +1,179 @@
+// Ordered-reassembly primitives shared by both ends of the data plane.
+//
+// Two pipeline stages in this codebase turn parallel, out-of-order work back
+// into a deterministic stream and used to do it with hand-rolled map+counter
+// bookkeeping buried inside their hosts:
+//
+//   * the daemon's per-sink lane re-sequences encode-pool completions into
+//     batch-id order before the sender drains them (Daemon::pump), and
+//   * the receiver re-sequences decode-pool completions into arrival order,
+//     then reassembles per-sender epoch streams (sentinels can overtake data
+//     on parallel transports) before batches reach the consumer queue.
+//
+// Sequencer<T> is the first half: a dense-sequence reorder buffer. Items
+// tagged 0,1,2,... arrive in any order; the ready prefix comes out strictly
+// in order. EpochSequencer<T> is the second half: multi-sender end-of-epoch
+// accounting (N sentinels + all counted items per epoch, future-epoch data
+// held until its epoch becomes current).
+//
+// Neither class locks: every user already serializes access with the mutex
+// that guards the rest of its stage state (the daemon's lane mutex, the
+// receiver's delivery mutex), and embedding a second lock here would only
+// stack critical sections. Both are cheap to interrogate, so hosts can lift
+// stall/occupancy telemetry out of them instead of keeping shadow counters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace emlio {
+
+/// Reorder buffer over a dense sequence space. put() parks item `seq`;
+/// front()/pop_front() expose the head item once every sequence before it
+/// has been consumed. The contract is dense and exactly-once: each seq in
+/// 0,1,2,... must be put exactly once (a decode/encode job that fails still
+/// puts a tombstone result, otherwise the stream stalls forever).
+///
+/// NOT internally synchronized — callers guard it with their stage mutex.
+template <typename T>
+class Sequencer {
+ public:
+  /// Park `item` as sequence `seq`. Returns true when the item is
+  /// immediately poppable (seq == next()), false when it parked behind a
+  /// gap — the caller's "resequence stall" signal.
+  bool put(std::uint64_t seq, T item) {
+    parked_.emplace(seq, std::move(item));
+    if (parked_.size() > max_parked_) max_parked_ = parked_.size();
+    if (seq == next_) return true;
+    ++out_of_order_;
+    return false;
+  }
+
+  /// Head item when ready (its seq == next()), nullptr while the stream is
+  /// waiting on an earlier sequence. The pointer stays valid until the next
+  /// put()/pop_front().
+  T* front() {
+    auto it = parked_.begin();
+    if (it == parked_.end() || it->first != next_) return nullptr;
+    return &it->second;
+  }
+
+  /// Consume the head (front() must be non-null). Returns the item.
+  T pop_front() {
+    auto it = parked_.begin();
+    T item = std::move(it->second);
+    parked_.erase(it);
+    ++next_;
+    return item;
+  }
+
+  /// Next sequence the ordered stream is waiting for == items consumed.
+  std::uint64_t next() const { return next_; }
+  /// Items currently parked (including a ready head).
+  std::size_t parked() const { return parked_.size(); }
+  bool empty() const { return parked_.empty(); }
+
+  /// puts that landed behind a gap (arrived ahead of an incomplete earlier
+  /// sequence) — how often the parallel stage finished out of order.
+  std::uint64_t out_of_order() const { return out_of_order_; }
+  /// High-water mark of parked items — the reorder buffer's memory bound.
+  std::size_t max_parked() const { return max_parked_; }
+
+ private:
+  std::map<std::uint64_t, T> parked_;
+  std::uint64_t next_ = 0;
+  std::uint64_t out_of_order_ = 0;
+  std::size_t max_parked_ = 0;
+};
+
+/// Multi-sender epoch reassembly (the receiver's end-of-epoch algebra,
+/// extracted). Feed it an already-ordered stream of data items and sentinels
+/// tagged with their epoch; it
+///
+///   * emits current-epoch data immediately (on_data),
+///   * holds future-epoch data until that epoch becomes current (parallel
+///     streams let epoch e+1 overtake epoch e's tail),
+///   * declares an epoch complete only when all `num_senders` sentinels have
+///     arrived AND the item count those sentinels announced has been
+///     delivered (sentinels themselves overtake data), then emits one
+///     aggregated marker (on_marker) and flushes the next epoch's held data.
+///
+/// Callbacks: on_data(T&&) delivers one item; on_marker(epoch, expected)
+/// signals one completed epoch. Epochs complete strictly in order.
+///
+/// NOT internally synchronized — callers guard it with their stage mutex.
+template <typename T>
+class EpochSequencer {
+ public:
+  explicit EpochSequencer(std::size_t num_senders)
+      : num_senders_(num_senders ? num_senders : 1) {}
+
+  /// One data item for `epoch`.
+  template <typename OnData, typename OnMarker>
+  void data(std::uint32_t epoch, T item, OnData&& on_data, OnMarker&& on_marker) {
+    ++progress_[epoch].received;
+    if (epoch == current_) {
+      on_data(std::move(item));
+    } else {
+      held_[epoch].push_back(std::move(item));
+      ++held_count_;
+    }
+    advance(on_data, on_marker);
+  }
+
+  /// One sender's end-of-epoch sentinel announcing it shipped `sent_count`
+  /// data items for `epoch`.
+  template <typename OnData, typename OnMarker>
+  void sentinel(std::uint32_t epoch, std::uint64_t sent_count, OnData&& on_data,
+                OnMarker&& on_marker) {
+    auto& p = progress_[epoch];
+    ++p.sentinels;
+    p.expected += sent_count;
+    advance(on_data, on_marker);
+  }
+
+  std::uint32_t current_epoch() const { return current_; }
+  std::uint64_t epochs_completed() const { return completed_; }
+  /// Future-epoch items currently held back. Non-zero after the stream ends
+  /// means a sender died mid-epoch: those items can never be delivered.
+  std::size_t held_count() const { return held_count_; }
+
+ private:
+  struct Progress {
+    std::size_t sentinels = 0;
+    std::uint64_t expected = 0;  ///< summed from sentinels' sent_count
+    std::uint64_t received = 0;
+  };
+
+  template <typename OnData, typename OnMarker>
+  void advance(OnData& on_data, OnMarker& on_marker) {
+    for (;;) {
+      auto& p = progress_[current_];
+      if (p.sentinels != num_senders_ || p.received < p.expected) return;
+      on_marker(current_, p.expected);
+      ++completed_;
+      progress_.erase(current_);
+      ++current_;
+      auto it = held_.find(current_);
+      if (it != held_.end()) {
+        for (auto& item : it->second) {
+          --held_count_;
+          on_data(std::move(item));
+        }
+        held_.erase(it);
+      }
+    }
+  }
+
+  const std::size_t num_senders_;
+  std::map<std::uint32_t, Progress> progress_;
+  std::map<std::uint32_t, std::vector<T>> held_;
+  std::size_t held_count_ = 0;
+  std::uint32_t current_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace emlio

@@ -6,6 +6,7 @@
 
 #include "common/bounded_queue.h"
 #include "common/log.h"
+#include "common/sequencer.h"
 
 namespace emlio::core {
 
@@ -46,12 +47,12 @@ struct Daemon::SinkLane {
 
   // Re-sequencer state, guarded by mu: encode jobs finish out of order but
   // the queue is fed strictly in jobs[] order so the wire stream stays
-  // deterministic. pump() is the only writer of next_push/next_submit.
+  // deterministic (the same common::Sequencer the receiver's decode pool
+  // uses). pump() is the only consumer; next_submit admits new jobs.
   std::mutex mu;
-  std::map<std::size_t, OutboundBatch> finished;  ///< seq → encoded result
+  Sequencer<OutboundBatch> resequencer;  ///< seq → encoded result, in order
   std::size_t next_submit = 0;  ///< next jobs[] index to hand to the pool
-  std::size_t next_push = 0;    ///< next seq the queue is waiting for
-  std::size_t stall_seq = SIZE_MAX;  ///< last seq counted as an enqueue stall
+  std::uint64_t stall_seq = UINT64_MAX;  ///< last seq counted as an enqueue stall
 };
 
 Daemon::Daemon(DaemonConfig config, std::vector<tfrecord::ShardReader> readers,
@@ -262,7 +263,7 @@ void Daemon::encode_job(SinkLane& lane, std::size_t seq) {
   // batch-id order, space permitting. Never blocks this pool thread.
   {
     std::lock_guard<std::mutex> lock(lane.mu);
-    lane.finished.emplace(seq, std::move(out));
+    lane.resequencer.put(seq, std::move(out));
   }
   pump(lane);
 }
@@ -283,29 +284,27 @@ void Daemon::pump(SinkLane& lane) {
       lane.queue.close();  // abort: sender (if alive) drains then exits
       return;
     }
-    for (auto it = lane.finished.find(lane.next_push); it != lane.finished.end();
-         it = lane.finished.find(lane.next_push)) {
-      if (!lane.queue.try_push(it->second)) {
+    while (OutboundBatch* head = lane.resequencer.front()) {
+      if (!lane.queue.try_push(*head)) {
         if (lane.queue.closed()) {
           // Sender closed the queue (sink gone); drop the epoch's remainder.
           lane.failed.store(true, std::memory_order_release);
           return;
         }
         // Queue full: disk/encode outran the wire. Count once per batch.
-        if (lane.stall_seq != lane.next_push) {
-          lane.stall_seq = lane.next_push;
+        if (lane.stall_seq != lane.resequencer.next()) {
+          lane.stall_seq = lane.resequencer.next();
           enqueue_stalls_.fetch_add(1, std::memory_order_relaxed);
         }
         break;
       }
       note_queue_depth(lane.queue.size());
-      lane.finished.erase(it);
-      ++lane.next_push;
+      lane.resequencer.pop_front();  // try_push moved the value out of *head
       // One batch queued admits one new job: in-flight (running or parked)
       // stays ≤ the priming window.
       if (lane.next_submit < lane.jobs.size()) to_submit.push_back(lane.next_submit++);
     }
-    if (lane.next_push == lane.jobs.size()) {
+    if (lane.resequencer.next() == lane.jobs.size()) {
       lane.queue.close();  // all queued: sender drains then exits
     }
   }

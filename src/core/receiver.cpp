@@ -1,113 +1,338 @@
 #include "core/receiver.h"
 
+#include <chrono>
+#include <stdexcept>
+
 #include "common/log.h"
 
 namespace emlio::core {
 
+namespace {
+
+std::vector<std::unique_ptr<net::MessageSource>> one_source(
+    std::unique_ptr<net::MessageSource> source) {
+  std::vector<std::unique_ptr<net::MessageSource>> v;
+  v.push_back(std::move(source));
+  return v;
+}
+
+}  // namespace
+
 Receiver::Receiver(ReceiverConfig config, std::unique_ptr<net::MessageSource> source,
                    TimestampLogger* timestamps)
+    : Receiver(config, one_source(std::move(source)), timestamps) {}
+
+Receiver::Receiver(ReceiverConfig config, std::vector<std::unique_ptr<net::MessageSource>> sources,
+                   TimestampLogger* timestamps)
     : config_(config),
-      source_(std::move(source)),
+      sources_(std::move(sources)),
       timestamps_(timestamps),
-      queue_(config.queue_capacity) {
-  if (!source_) throw std::invalid_argument("receiver: null message source");
-  thread_ = std::thread([this] { receive_loop(); });
+      queue_(config.queue_capacity),
+      epochs_(config.num_senders) {
+  if (sources_.empty()) throw std::invalid_argument("receiver: no message sources");
+  for (const auto& s : sources_) {
+    if (!s) throw std::invalid_argument("receiver: null message source");
+  }
+
+  if (config_.decode_threads > 0) {
+    // Pooled engine: one ingest thread per source stamps arrival tickets and
+    // feeds the decode pool under a bounded in-flight window (2× the pool:
+    // enough parked results to keep every worker busy across out-of-order
+    // completions, small enough that a stalled consumer stops ingest fast).
+    decode_pool_ = std::make_unique<ThreadPool>(config_.decode_threads);
+    window_ = std::max<std::size_t>(config_.decode_threads * 2, 4);
+    ingest_active_ = sources_.size();
+    for (auto& s : sources_) {
+      threads_.emplace_back([this, src = s.get()] { ingest_loop(*src); });
+    }
+  } else if (sources_.size() == 1) {
+    // Legacy serial engine, exactly as before: one thread pulls, decodes and
+    // sequences.
+    ingest_active_ = 1;
+    threads_.emplace_back([this] { serial_loop(*sources_.front()); });
+  } else {
+    // Serial engine over N sources: the hand-built fan-in pattern (payload
+    // mux into one decode thread), now inside the receiver.
+    mux_ = std::make_unique<BoundedQueue<Payload>>(
+        std::max<std::size_t>(config_.queue_capacity, 16));
+    mux_pumps_open_.store(sources_.size(), std::memory_order_relaxed);
+    ingest_active_ = 1;  // the single decode thread below
+    for (auto& s : sources_) {
+      threads_.emplace_back([this, src = s.get()] { mux_pump(*src); });
+    }
+    threads_.emplace_back([this] {
+      while (auto payload = mux_->pop()) {
+        bool error = false;
+        auto batch = decode_payload(*payload, error);
+        if (!error) {
+          std::lock_guard<std::mutex> delivery(delivery_mutex_);
+          process_batch(std::move(batch), payload->size());
+        }
+      }
+      finish_stage_member(/*is_ingest=*/true);
+    });
+  }
 }
 
 Receiver::~Receiver() {
   close();
-  if (thread_.joinable()) thread_.join();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  // Drains straggler decode jobs (their deliveries count as drops now that
+  // the queue is closed) before any member they touch goes away.
+  decode_pool_.reset();
 }
 
 void Receiver::close() {
   if (closed_.exchange(true, std::memory_order_acq_rel)) return;
-  source_->close();
+  for (auto& s : sources_) s->close();
+  if (mux_) mux_->close();
+  {
+    std::lock_guard<std::mutex> lock(window_mutex_);
+    window_closed_ = true;
+  }
+  window_cv_.notify_all();
   queue_.close();
-}
-
-ReceiverStats Receiver::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
 }
 
 std::optional<msgpack::WireBatch> Receiver::next() { return queue_.pop(); }
 
-bool Receiver::deliver_ready() {
-  // An epoch completes when every sender's sentinel arrived AND all the
-  // batches those sentinels counted have been delivered — robust against
-  // sentinels overtaking data on parallel streams. Completing an epoch makes
-  // the next one current and flushes any of its buffered batches.
-  for (;;) {
-    auto& progress = epochs_[current_epoch_];
-    if (progress.sentinels != config_.num_senders ||
-        progress.received_batches < progress.expected_batches) {
-      return true;  // current epoch still in flight
-    }
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.epochs_completed;
-    }
-    if (timestamps_) timestamps_->record("epoch_complete", current_epoch_);
-    auto marker =
-        msgpack::BatchCodec::make_sentinel(0, current_epoch_, progress.expected_batches);
-    if (!queue_.push(std::move(marker))) return false;
+ReceiverStats Receiver::stats() const {
+  ReceiverStats s;
+  s.batches_received = batches_received_.load(std::memory_order_relaxed);
+  s.samples_received = samples_received_.load(std::memory_order_relaxed);
+  s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+  s.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+  s.epochs_completed = epochs_completed_.load(std::memory_order_relaxed);
+  s.decode_stalls = decode_stalls_.load(std::memory_order_relaxed);
+  s.resequence_stalls = resequence_stalls_.load(std::memory_order_relaxed);
+  s.queue_peak_depth = queue_peak_depth_.load(std::memory_order_relaxed);
+  s.decode_ns = decode_ns_.load(std::memory_order_relaxed);
+  s.dropped_on_close = dropped_on_close_.load(std::memory_order_relaxed);
+  return s;
+}
 
-    epochs_.erase(current_epoch_);
-    ++current_epoch_;
-    auto it = pending_.find(current_epoch_);
-    if (it != pending_.end()) {
-      for (auto& held : it->second) {
-        if (!queue_.push(std::move(held))) return false;
-      }
-      pending_.erase(it);
+json::Value to_json(const ReceiverStats& s) {
+  json::Object o;
+  o["batches_received"] = s.batches_received;
+  o["samples_received"] = s.samples_received;
+  o["bytes_received"] = s.bytes_received;
+  o["decode_errors"] = s.decode_errors;
+  o["epochs_completed"] = s.epochs_completed;
+  o["decode_stalls"] = s.decode_stalls;
+  o["resequence_stalls"] = s.resequence_stalls;
+  o["queue_peak_depth"] = s.queue_peak_depth;
+  o["decode_ns"] = s.decode_ns;
+  o["dropped_on_close"] = s.dropped_on_close;
+  return json::Value(std::move(o));
+}
+
+// ------------------------------------------------------------ shared stages
+
+msgpack::WireBatch Receiver::decode_payload(const Payload& payload, bool& error) {
+  // Zero-copy decode: every sample in the result is a view sharing ownership
+  // of `payload`'s storage; the receive buffer lives (and its pool slot
+  // stays out) exactly until the consumer drops the batch.
+  msgpack::WireBatch batch;
+  error = false;
+  auto t0 = std::chrono::steady_clock::now();
+  try {
+    batch = msgpack::BatchCodec::decode(payload);
+  } catch (const std::exception& e) {
+    log::error("receiver: undecodable payload (", e.what(), ")");
+    decode_errors_.fetch_add(1, std::memory_order_relaxed);
+    error = true;
+  }
+  auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+  decode_ns_.fetch_add(static_cast<std::uint64_t>(ns), std::memory_order_relaxed);
+  return batch;
+}
+
+void Receiver::process_batch(msgpack::WireBatch&& batch, std::size_t wire_bytes) {
+  // Caller holds delivery_mutex_: the epoch algebra and the queue pushes it
+  // triggers run strictly one batch at a time, in sequence order.
+  auto on_data = [this](msgpack::WireBatch&& ready) { emit(std::move(ready)); };
+  auto on_marker = [this](std::uint32_t epoch, std::uint64_t expected) {
+    epochs_completed_.fetch_add(1, std::memory_order_relaxed);
+    if (timestamps_) timestamps_->record("epoch_complete", epoch);
+    emit(msgpack::BatchCodec::make_sentinel(0, epoch, expected));
+  };
+  if (batch.last) {
+    epochs_.sentinel(batch.epoch, batch.sent_count, on_data, on_marker);
+  } else {
+    batches_received_.fetch_add(1, std::memory_order_relaxed);
+    samples_received_.fetch_add(batch.samples.size(), std::memory_order_relaxed);
+    bytes_received_.fetch_add(wire_bytes, std::memory_order_relaxed);
+    if (timestamps_) {
+      timestamps_->record("batch_recv", static_cast<std::int64_t>(batch.batch_id));
     }
+    epochs_.data(batch.epoch, std::move(batch), on_data, on_marker);
   }
 }
 
-void Receiver::receive_loop() {
-  for (;;) {
-    auto payload = source_->recv();
-    if (!payload) break;  // transport closed
-    msgpack::WireBatch batch;
-    try {
-      // Zero-copy decode: every sample in `batch` is a view sharing
-      // ownership of `*payload`; the receive buffer lives (and its pool slot
-      // stays out) exactly until the consumer drops the batch.
-      batch = msgpack::BatchCodec::decode(*payload);
-    } catch (const std::exception& e) {
-      log::error("receiver: undecodable payload (", e.what(), ")");
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.decode_errors;
-      continue;
+void Receiver::emit(msgpack::WireBatch&& batch) {
+  // Caller holds delivery_mutex_. A rejected push means the consumer queue
+  // closed under us: keep the epoch algebra running (gaps must still fill,
+  // window slots must still free) but count every decoded data batch that
+  // will never be seen — the old engine lost these silently.
+  const bool is_marker = batch.last;
+  if (!delivery_rejected_) {
+    if (queue_.push(std::move(batch))) {
+      note_queue_depth();
+      return;
     }
+    delivery_rejected_ = true;
+  }
+  if (is_marker) return;  // synthesized markers are not lost data
+  dropped_on_close_.fetch_add(1, std::memory_order_relaxed);
+  if (!drop_logged_) {
+    drop_logged_ = true;
+    log::warn("receiver: consumer queue closed with decoded batches in flight; "
+              "counting drops in ReceiverStats::dropped_on_close");
+  }
+}
 
-    const std::uint32_t epoch = batch.epoch;
-    auto& progress = epochs_[epoch];
-    if (batch.last) {
-      ++progress.sentinels;
-      progress.expected_batches += batch.sent_count;
+void Receiver::note_queue_depth() {
+  std::uint64_t depth = queue_.size();
+  std::uint64_t seen = queue_peak_depth_.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !queue_peak_depth_.compare_exchange_weak(seen, depth, std::memory_order_relaxed)) {
+  }
+}
+
+void Receiver::finish_stage_member(bool is_ingest, bool delivery_held) {
+  // One ingest thread ended, or (pooled engine) one admitted payload was
+  // fully delivered. When the last member of both stages retires, the
+  // stream is over: account batches still held for epochs that can never
+  // complete (a sender died mid-epoch), then close the consumer queue.
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lock(window_mutex_);
+    if (is_ingest) {
+      --ingest_active_;
     } else {
-      ++progress.received_batches;
-      if (timestamps_) {
-        timestamps_->record("batch_recv", static_cast<std::int64_t>(batch.batch_id));
-      }
-      {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.batches_received;
-        stats_.samples_received += batch.samples.size();
-        stats_.bytes_received += payload->size();
-      }
-      if (epoch == current_epoch_) {
-        if (!queue_.push(std::move(batch))) break;  // closed locally
-      } else {
-        // Parallel streams can let epoch e+1 data overtake epoch e's tail;
-        // hold it until its epoch becomes current.
-        pending_[epoch].push_back(std::move(batch));
+      --inflight_;
+    }
+    last = ingest_active_ == 0 && inflight_ == 0;
+  }
+  window_cv_.notify_all();
+  if (!last) return;
+  {
+    std::unique_lock<std::mutex> delivery(delivery_mutex_, std::defer_lock);
+    if (!delivery_held) delivery.lock();
+    std::size_t held = epochs_.held_count();
+    if (held > 0) {
+      dropped_on_close_.fetch_add(held, std::memory_order_relaxed);
+      if (!drop_logged_) {
+        drop_logged_ = true;
+        log::warn("receiver: stream ended with ", held,
+                  " decoded batch(es) held for incomplete epochs; counted in "
+                  "ReceiverStats::dropped_on_close");
       }
     }
-    if (!deliver_ready()) break;
   }
   queue_.close();
+}
+
+// ------------------------------------------------------ legacy serial engine
+
+void Receiver::serial_loop(net::MessageSource& source) {
+  for (;;) {
+    auto payload = source.recv();
+    if (!payload) break;  // transport closed
+    bool error = false;
+    auto batch = decode_payload(*payload, error);
+    if (!error) {
+      std::lock_guard<std::mutex> delivery(delivery_mutex_);
+      process_batch(std::move(batch), payload->size());
+    }
+  }
+  finish_stage_member(/*is_ingest=*/true);
+}
+
+void Receiver::mux_pump(net::MessageSource& source) {
+  while (auto payload = source.recv()) {
+    if (!mux_->push(std::move(*payload))) return;  // shutting down
+  }
+  if (mux_pumps_open_.fetch_sub(1, std::memory_order_acq_rel) == 1) mux_->close();
+}
+
+// ----------------------------------------------------------- pooled engine
+
+void Receiver::ingest_loop(net::MessageSource& source) {
+  for (;;) {
+    auto payload = source.recv();
+    if (!payload) break;  // transport closed
+    std::uint64_t ticket = 0;
+    {
+      std::unique_lock<std::mutex> lock(window_mutex_);
+      if (inflight_ >= window_ && !window_closed_) {
+        // Decode (or the consumer behind it) is the bottleneck right now.
+        decode_stalls_.fetch_add(1, std::memory_order_relaxed);
+        window_cv_.wait(lock, [&] { return inflight_ < window_ || window_closed_; });
+      }
+      if (window_closed_) break;
+      ++inflight_;
+      // The ticket defines delivery order; stamping it under the same lock
+      // as admission keeps the two atomic per payload.
+      ticket = next_ticket_++;
+    }
+    decode_pool_->post([this, ticket, p = std::move(*payload)]() mutable {
+      decode_job(ticket, std::move(p));
+    });
+  }
+  finish_stage_member(/*is_ingest=*/true);
+}
+
+void Receiver::decode_job(std::uint64_t ticket, Payload payload) {
+  Decoded decoded;
+  decoded.wire_bytes = payload.size();
+  decoded.batch = decode_payload(payload, decoded.error);
+  // A failed decode still fills its ticket (as a tombstone) — the ordered
+  // stream must never stall on a gap.
+  bool in_order;
+  {
+    std::lock_guard<std::mutex> lock(sequencer_mutex_);
+    in_order = resequencer_.put(ticket, std::move(decoded));
+  }
+  if (!in_order) resequence_stalls_.fetch_add(1, std::memory_order_relaxed);
+  pump_delivery();
+}
+
+void Receiver::pump_delivery() {
+  // Whoever holds delivery_mutex_ drains the sequencer's ready prefix in
+  // ticket order. Workers that lose the try_lock go straight back to
+  // decoding — their parked item is the current drainer's problem. The
+  // re-check after unlock closes the race where an item parks while the
+  // drainer is between "saw empty" and "released the lock".
+  for (;;) {
+    if (!delivery_mutex_.try_lock()) return;  // an active drainer will pick it up
+    {
+      std::lock_guard<std::mutex> delivery(delivery_mutex_, std::adopt_lock);
+      for (;;) {
+        std::optional<Decoded> head;
+        {
+          std::lock_guard<std::mutex> lock(sequencer_mutex_);
+          if (resequencer_.front()) head = resequencer_.pop_front();
+        }
+        if (!head) break;
+        process_decoded(std::move(*head));
+      }
+    }
+    std::lock_guard<std::mutex> lock(sequencer_mutex_);
+    if (!resequencer_.front()) return;
+  }
+}
+
+void Receiver::process_decoded(Decoded&& decoded) {
+  // Caller holds delivery_mutex_.
+  if (!decoded.error) process_batch(std::move(decoded.batch), decoded.wire_bytes);
+  // Delivered (or tombstoned): the window slot frees and ingest may admit
+  // the next payload.
+  finish_stage_member(/*is_ingest=*/false, /*delivery_held=*/true);
 }
 
 }  // namespace emlio::core

@@ -1,22 +1,50 @@
 // The EMLIO Receiver (compute side, §4.4 / Algorithm 3 lines 1–2).
 //
-// A receiver thread pulls msgpack payloads off the transport, deserializes
-// them, and pushes WireBatches into a bounded shared in-memory queue (the
-// paper's "shared Queue"). next() hands batches to the DALI-style pipeline's
-// external_source. End-of-epoch detection: each serving daemon sends one
-// sentinel per epoch; once all `num_senders` sentinels for the current epoch
-// have arrived, next() emits a single empty batch with last=true, then
-// resumes with the following epoch's data.
+// A staged engine mirroring the daemon's storage-side pipeline, so the last
+// serial stage of the mmap→GPU path decodes in parallel under many-daemon
+// fan-in:
+//
+//   ingest threads            decode workers              ordered delivery
+//   (one per MessageSource)   (shared ThreadPool,         (Sequencer -> epoch
+//   stamp arrival tickets --> decode_threads wide)    --> reassembly -> shared
+//                                                         BoundedQueue)
+//
+// Each ingest thread pulls raw msgpack payloads off its own source — true
+// N-daemon fan-in runs N sources, not N streams muxed into one — stamps a
+// global arrival ticket, and hands the payload to the decode pool under a
+// bounded in-flight window (backpressure: a slow decode stage stops the
+// ingest threads, which stops the transport, which stops the daemons).
+// Decode workers deserialize out of order; a common::Sequencer restores
+// ticket order and a common::EpochSequencer applies the multi-sender
+// end-of-epoch algebra (sentinel/pending bookkeeping) before batches land in
+// the bounded consumer queue — delivery order and sentinel semantics are
+// byte-identical to the legacy serial engine's.
+//
+// decode_threads == 0 keeps that legacy serial path for A/B benching: one
+// source decodes inline on its receive thread (exactly the old engine);
+// multiple sources are muxed through an internal queue into one decode
+// thread (exactly the FanInSource pattern multi-daemon callers built by
+// hand). next() hands batches to the DALI-style pipeline's external_source.
+//
+// End-of-epoch detection: each serving daemon sends one sentinel per epoch;
+// once all `num_senders` sentinels for the current epoch have arrived AND
+// the batches they counted were delivered, next() emits a single empty batch
+// with last=true, then resumes with the following epoch's data.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
-#include <map>
 #include <memory>
+#include <mutex>
 #include <thread>
+#include <vector>
 
 #include "common/bounded_queue.h"
+#include "common/sequencer.h"
+#include "common/thread_pool.h"
 #include "common/timestamp_logger.h"
+#include "json/json.h"
 #include "msgpack/batch_codec.h"
 #include "net/channel.h"
 
@@ -25,6 +53,11 @@ namespace emlio::core {
 struct ReceiverConfig {
   std::size_t num_senders = 1;     ///< daemons pushing to this node
   std::size_t queue_capacity = 16; ///< shared queue depth (receiver HWM)
+  /// Decode fan-out width. 0 = the legacy serial engine (decode inline on
+  /// the receive thread; kept for A/B benching — see bench/micro_receiver).
+  /// N > 0 = pooled engine: N decode workers behind per-source ingest
+  /// threads, re-sequenced to the serial engine's exact delivery order.
+  std::size_t decode_threads = 0;
 };
 
 struct ReceiverStats {
@@ -33,15 +66,39 @@ struct ReceiverStats {
   std::uint64_t bytes_received = 0;
   std::uint64_t decode_errors = 0;
   std::uint64_t epochs_completed = 0;
+  // Pipeline balance. The stall counters exist only in the pooled engine
+  // (always zero under the serial one); queue depth and decode time are
+  // measured by both engines.
+  std::uint64_t decode_stalls = 0;      ///< ingest waits on a full decode
+                                        ///< window (decode is the bottleneck)
+  std::uint64_t resequence_stalls = 0;  ///< decodes that finished out of
+                                        ///< order and parked behind a gap
+  std::uint64_t queue_peak_depth = 0;   ///< max consumer-queue occupancy seen
+  std::uint64_t decode_ns = 0;          ///< cumulative wall time inside
+                                        ///< BatchCodec::decode (both engines)
+  /// Batches that were decoded but never reached the consumer: rejected by a
+  /// closed queue, or still held for a future epoch when the stream ended
+  /// (a sender died mid-epoch). The old engine dropped these silently.
+  std::uint64_t dropped_on_close = 0;
 };
+
+/// Serialize the stats block as one flat JSON object (`emlio_receive
+/// --stats-json`, bench rows).
+json::Value to_json(const ReceiverStats& stats);
 
 class Receiver {
  public:
-  /// Takes ownership of the source; spawns the receiver thread immediately.
+  /// Single-source receiver (one transport muxing every daemon). Takes
+  /// ownership of the source; spawns the engine immediately.
   Receiver(ReceiverConfig config, std::unique_ptr<net::MessageSource> source,
            TimestampLogger* timestamps = nullptr);
 
-  /// Stops the thread and closes the source.
+  /// Multi-source receiver: one ingest thread per source (N-daemon fan-in
+  /// over N independent transports). Sources must be non-null.
+  Receiver(ReceiverConfig config, std::vector<std::unique_ptr<net::MessageSource>> sources,
+           TimestampLogger* timestamps = nullptr);
+
+  /// Stops the engine and closes every source.
   ~Receiver();
 
   Receiver(const Receiver&) = delete;
@@ -58,35 +115,77 @@ class Receiver {
   /// Stop receiving (unblocks next()). Idempotent.
   void close();
 
+  /// Point-in-time snapshot. Every counter is an independent relaxed atomic
+  /// (the per-batch mutex is gone from the hot path), so the snapshot is
+  /// internally consistent per counter; cross-counter invariants (e.g.
+  /// samples vs batches) settle once the stream is drained.
   ReceiverStats stats() const;
 
  private:
-  void receive_loop();
+  /// One decode completion travelling through the sequencer.
+  struct Decoded {
+    msgpack::WireBatch batch;
+    std::size_t wire_bytes = 0;
+    bool error = false;  ///< tombstone: fills the ticket gap, delivers nothing
+  };
+
+  void ingest_loop(net::MessageSource& source);
+  void serial_loop(net::MessageSource& source);
+  void mux_pump(net::MessageSource& source);
+  void decode_job(std::uint64_t ticket, Payload payload);
+  msgpack::WireBatch decode_payload(const Payload& payload, bool& error);
+  void pump_delivery();
+  void process_decoded(Decoded&& decoded);
+  void process_batch(msgpack::WireBatch&& batch, std::size_t wire_bytes);
+  void emit(msgpack::WireBatch&& batch);
+  void finish_stage_member(bool is_ingest, bool delivery_held = false);
+  void note_queue_depth();
 
   ReceiverConfig config_;
-  std::unique_ptr<net::MessageSource> source_;
+  std::vector<std::unique_ptr<net::MessageSource>> sources_;
   TimestampLogger* timestamps_;
   BoundedQueue<msgpack::WireBatch> queue_;
-  std::thread thread_;
   std::atomic<bool> closed_{false};
 
-  // Written only by the receiver thread. Epoch completion requires all
-  // senders' sentinels AND all their counted data batches (multi-stream
-  // transports do not order sentinels against data).
-  struct EpochProgress {
-    std::size_t sentinels = 0;
-    std::uint64_t expected_batches = 0;  // summed from sentinels' nsent
-    std::uint64_t received_batches = 0;
-  };
-  bool deliver_ready();
-  std::map<std::uint32_t, EpochProgress> epochs_;
-  /// Data batches of future epochs, held until their epoch becomes current
-  /// (epochs are delivered strictly in order).
-  std::map<std::uint32_t, std::vector<msgpack::WireBatch>> pending_;
-  std::uint32_t current_epoch_ = 0;
+  // Pooled engine. The window caps payloads admitted to the decode stage but
+  // not yet delivered: it bounds decode-stage memory and is the backpressure
+  // coupling between a slow consumer and the ingest threads.
+  std::unique_ptr<ThreadPool> decode_pool_;
+  std::size_t window_ = 0;
+  std::mutex window_mutex_;  ///< guards inflight_/ingest_active_/next_ticket_
+  std::condition_variable window_cv_;
+  std::size_t inflight_ = 0;
+  std::size_t ingest_active_ = 0;
+  std::uint64_t next_ticket_ = 0;
+  bool window_closed_ = false;
 
-  mutable std::mutex stats_mutex_;
-  ReceiverStats stats_;
+  std::mutex sequencer_mutex_;
+  Sequencer<Decoded> resequencer_;  ///< guarded by sequencer_mutex_
+
+  // Delivery context: whoever holds delivery_mutex_ drains the sequencer's
+  // ready prefix through the epoch bookkeeping into queue_. Serial-engine
+  // threads take it blocking; pooled decode workers try-lock and hand over.
+  std::mutex delivery_mutex_;
+  EpochSequencer<msgpack::WireBatch> epochs_;  ///< guarded by delivery_mutex_
+  bool delivery_rejected_ = false;             ///< queue_ closed under us
+  bool drop_logged_ = false;
+
+  // Serial engine, multi-source: raw payload mux feeding one decode thread.
+  std::unique_ptr<BoundedQueue<Payload>> mux_;
+  std::atomic<std::size_t> mux_pumps_open_{0};
+
+  std::vector<std::thread> threads_;
+
+  std::atomic<std::uint64_t> batches_received_{0};
+  std::atomic<std::uint64_t> samples_received_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+  std::atomic<std::uint64_t> decode_errors_{0};
+  std::atomic<std::uint64_t> epochs_completed_{0};
+  std::atomic<std::uint64_t> decode_stalls_{0};
+  std::atomic<std::uint64_t> resequence_stalls_{0};
+  std::atomic<std::uint64_t> queue_peak_depth_{0};
+  std::atomic<std::uint64_t> decode_ns_{0};
+  std::atomic<std::uint64_t> dropped_on_close_{0};
 };
 
 }  // namespace emlio::core

@@ -91,6 +91,7 @@ void EmlioService::start() {
   ReceiverConfig rc;
   rc.num_senders = 1;
   rc.queue_capacity = config_.receiver_queue;
+  rc.decode_threads = config_.decode_threads;
   receiver_ = std::make_unique<Receiver>(rc, std::move(source), &timestamps_);
 
   daemon_thread_ = std::thread([this, sink] {

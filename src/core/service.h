@@ -40,6 +40,10 @@ struct ServiceConfig {
   std::size_t pipeline_pool_threads = 0;
   std::size_t prefetch_depth = 0;
   bool pipelined = true;
+  /// Receiver decode fan-out width (ReceiverConfig::decode_threads).
+  /// 0 = the legacy serial receive-decode thread; N > 0 = pooled decode
+  /// workers with re-sequenced (delivery-order-identical) output.
+  std::size_t decode_threads = 0;
   /// Daemon-side sample cache: byte budget (0 = off) and eviction policy
   /// ("clock" or "lru" — parsed by cache::parse_policy; anything else makes
   /// start() throw). When the dataset fits the budget, warm epochs are

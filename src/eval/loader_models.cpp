@@ -364,8 +364,13 @@ ScenarioResult run_emlio(const ScenarioConfig& cfg) {
   const std::size_t pool_threads =
       p.emlio_pool_threads ? p.emlio_pool_threads : p.emlio_daemon_threads;
   sim::Server serialize_pool(eng, pool_threads, &daemon_host.cpu());
-  sim::Server deserialize_pool(
-      eng, static_cast<std::size_t>(p.deserialize_threads), &compute.cpu());
+  // Receiver-side decode fan-out (ReceiverConfig::decode_threads): the
+  // pooled receiver widens the deserialize stage the same way pool_threads
+  // widens the storage-side encode stage.
+  const std::size_t decode_threads =
+      p.emlio_decode_threads ? p.emlio_decode_threads
+                             : static_cast<std::size_t>(p.deserialize_threads);
+  sim::Server deserialize_pool(eng, decode_threads, &compute.cpu());
   sim::AsyncSemaphore hwm(p.emlio_hwm * p.emlio_streams);
   sim::AsyncSemaphore prefetch(p.emlio_prefetch_q);
   std::unique_ptr<sim::AsyncSemaphore> send_queue;

@@ -3,10 +3,19 @@
 // mock training loop, and reports per-epoch coverage/integrity.
 //
 //   emlio_receive --port 5555 [--senders 1] [--epochs 1] [--expected N]
+//       [--decode-threads N] [--serial] [--stats-json PATH]
+//
+// --decode-threads sizes the receiver's decode pool (0 = the legacy serial
+// receive-decode thread); --serial forces the serial engine regardless of
+// --decode-threads (A/B runs, mirroring emlio_daemon --serial). --stats-json
+// dumps the final ReceiverStats (throughput + decode-pipeline counters) as a
+// JSON file at exit, same contract as emlio_daemon --stats-json.
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "core/receiver.h"
+#include "json/json.h"
 #include "net/push_pull.h"
 #include "train/trainer.h"
 
@@ -17,6 +26,9 @@ int main(int argc, char** argv) {
   std::size_t senders = 1;
   std::uint32_t epochs = 1;
   std::uint64_t expected = 0;
+  std::size_t decode_threads = 0;
+  bool serial = false;
+  std::string stats_json;
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) std::exit(2);
@@ -26,17 +38,25 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--senders")) senders = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--epochs")) epochs = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--expected")) expected = std::strtoull(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--decode-threads")) decode_threads = std::strtoul(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--serial")) serial = true;
+    else if (!std::strcmp(argv[i], "--stats-json")) stats_json = next();
     else {
       std::fprintf(stderr,
-                   "usage: emlio_receive --port P [--senders N] [--epochs E] [--expected N]\n");
+                   "usage: emlio_receive --port P [--senders N] [--epochs E] [--expected N] "
+                   "[--decode-threads N] [--serial] [--stats-json PATH]\n");
       return 2;
     }
   }
+  if (serial) decode_threads = 0;
 
   try {
     auto pull = std::make_unique<net::PullSocket>(port, /*queue_capacity=*/64);
-    std::printf("emlio_receive: listening on 127.0.0.1:%u (%zu sender(s), %u epoch(s))\n",
-                pull->port(), senders, epochs);
+    std::printf("emlio_receive: listening on 127.0.0.1:%u (%zu sender(s), %u epoch(s), "
+                "decode %s)\n",
+                pull->port(), senders, epochs,
+                decode_threads ? (std::to_string(decode_threads) + " pooled threads").c_str()
+                               : "serial");
 
     struct PullSource final : net::MessageSource {
       explicit PullSource(net::PullSocket* s) : socket(s) {}
@@ -46,6 +66,7 @@ int main(int argc, char** argv) {
     };
     core::ReceiverConfig rc;
     rc.num_senders = senders;
+    rc.decode_threads = decode_threads;
     core::Receiver receiver(rc, std::make_unique<PullSource>(pull.get()));
 
     train::TrainerOptions topt;
@@ -75,6 +96,18 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.batches_received),
                 static_cast<double>(stats.bytes_received) / 1e6,
                 static_cast<unsigned long long>(stats.decode_errors));
+    std::printf("emlio_receive: pipeline — %llu decode stalls (ingest waited on decode), "
+                "%llu resequence stalls (out-of-order decode completions), "
+                "peak queue depth %llu, %.1f ms decoding, %llu dropped on close\n",
+                static_cast<unsigned long long>(stats.decode_stalls),
+                static_cast<unsigned long long>(stats.resequence_stalls),
+                static_cast<unsigned long long>(stats.queue_peak_depth),
+                static_cast<double>(stats.decode_ns) / 1e6,
+                static_cast<unsigned long long>(stats.dropped_on_close));
+    if (!stats_json.empty()) {
+      json::write_file(stats_json, core::to_json(stats));
+      std::printf("emlio_receive: stats written to %s\n", stats_json.c_str());
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "emlio_receive: %s\n", e.what());

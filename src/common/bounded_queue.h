@@ -36,6 +36,7 @@ class BoundedQueue {
     not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
     if (closed_) return false;  // item untouched, recoverable by the caller
     items_.push_back(std::move(item));
+    if (items_.size() > peak_) peak_ = items_.size();
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -52,6 +53,7 @@ class BoundedQueue {
       std::lock_guard<std::mutex> lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
+      if (items_.size() > peak_) peak_ = items_.size();
     }
     not_empty_.notify_one();
     return true;
@@ -103,6 +105,14 @@ class BoundedQueue {
     return items_.size();
   }
 
+  /// High-water mark of occupancy, maintained inside push under the lock it
+  /// already holds — producers that used to re-lock the queue after every
+  /// push just to sample size() read this once, on the cold stats path.
+  std::size_t peak_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peak_;
+  }
+
   std::size_t capacity() const noexcept { return capacity_; }
 
  private:
@@ -111,6 +121,7 @@ class BoundedQueue {
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<T> items_;
+  std::size_t peak_ = 0;
   bool closed_ = false;
 };
 

@@ -1,0 +1,126 @@
+#include "common/pool_governor.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace emlio {
+
+PoolGovernorConfig PoolGovernorConfig::from_knobs(std::size_t min_threads,
+                                                  std::size_t max_threads,
+                                                  std::uint64_t interval_ms) {
+  PoolGovernorConfig gc;
+  gc.min_threads = std::max<std::size_t>(min_threads, 1);
+  gc.max_threads = max_threads ? max_threads : auto_pool_width();
+  gc.max_threads = std::max(gc.max_threads, gc.min_threads);
+  gc.interval = std::chrono::milliseconds(std::max<std::uint64_t>(interval_ms, 1));
+  return gc;
+}
+
+PoolGovernor::PoolGovernor(std::string name, ThreadPool& pool,
+                           const std::atomic<std::uint64_t>& grow_signal,
+                           const std::atomic<std::uint64_t>& shrink_signal,
+                           PoolGovernorConfig config)
+    : name_(std::move(name)),
+      pool_(pool),
+      grow_signal_(grow_signal),
+      shrink_signal_(shrink_signal),
+      config_(config) {
+  // Taking over sizing means enforcing the documented contract from the
+  // first instant: a pool started outside [min, max] is brought into the
+  // band now, as initialization (not counted or logged as a resize).
+  std::size_t lo = std::max<std::size_t>(config_.min_threads, 1);
+  std::size_t hi = std::max(config_.max_threads, lo);
+  std::size_t width = std::clamp(pool_.target_threads(), lo, hi);
+  if (width != pool_.target_threads()) pool_.set_target_threads(width);
+  current_.store(width, std::memory_order_relaxed);
+  peak_.store(width, std::memory_order_relaxed);
+  thread_ = std::thread([this] { run(); });
+}
+
+PoolGovernor::~PoolGovernor() { stop(); }
+
+void PoolGovernor::stop() {
+  std::thread control;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopped_ = true;
+    control = std::move(thread_);  // only the first stop() gets the handle
+  }
+  cv_.notify_all();
+  if (control.joinable()) control.join();
+}
+
+PoolGovernor::Stats PoolGovernor::stats() const {
+  Stats s;
+  s.resizes = resizes_.load(std::memory_order_relaxed);
+  s.grows = grows_.load(std::memory_order_relaxed);
+  s.shrinks = shrinks_.load(std::memory_order_relaxed);
+  s.threads_current = current_.load(std::memory_order_relaxed);
+  // The two counters are independent relaxed atomics, so a snapshot racing
+  // a grow could pair the new current with the stale peak; restore the
+  // peak >= current invariant at read time instead of fencing the hot loop.
+  s.threads_peak = std::max(peak_.load(std::memory_order_relaxed), s.threads_current);
+  return s;
+}
+
+void PoolGovernor::run() {
+  std::uint64_t last_grow = grow_signal_.load(std::memory_order_relaxed);
+  std::uint64_t last_shrink = shrink_signal_.load(std::memory_order_relaxed);
+  std::uint64_t cooldown = 0;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (cv_.wait_for(lock, config_.interval, [&] { return stopped_; })) return;
+    lock.unlock();
+
+    std::uint64_t grow_now = grow_signal_.load(std::memory_order_relaxed);
+    std::uint64_t shrink_now = shrink_signal_.load(std::memory_order_relaxed);
+    std::uint64_t grow_delta = grow_now - last_grow;
+    std::uint64_t shrink_delta = shrink_now - last_shrink;
+    last_grow = grow_now;
+    last_shrink = shrink_now;
+
+    if (cooldown > 0) {
+      --cooldown;
+      lock.lock();
+      continue;
+    }
+    std::uint64_t total = grow_delta + shrink_delta;
+    if (total >= std::max<std::uint64_t>(config_.min_events, 1)) {
+      double grow_share = static_cast<double>(grow_delta) / static_cast<double>(total);
+      std::size_t lo = std::max<std::size_t>(config_.min_threads, 1);
+      std::size_t hi = std::max(config_.max_threads, lo);
+      std::size_t width = current_.load(std::memory_order_relaxed);
+      // Strictly ±1 per decision, and only in the dominant signal's
+      // direction (the constructor already brought the starting width into
+      // [lo, hi], so stepping can never leave the band).
+      std::size_t next = width;
+      if (grow_share >= config_.dominance) {
+        if (width < hi) next = width + 1;
+      } else if (1.0 - grow_share >= config_.dominance) {
+        if (width > lo) next = width - 1;
+      }
+      if (next != width) {
+        pool_.set_target_threads(next);
+        if (next > peak_.load(std::memory_order_relaxed)) {
+          peak_.store(next, std::memory_order_relaxed);
+        }
+        current_.store(next, std::memory_order_relaxed);
+        resizes_.fetch_add(1, std::memory_order_relaxed);
+        if (next > width) {
+          grows_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          shrinks_.fetch_add(1, std::memory_order_relaxed);
+        }
+        cooldown = config_.cooldown_windows;
+        log::info("governor ", name_, ": ", next > width ? "grew" : "shrank", " pool ", width,
+                  " -> ", next, " (window: ", grow_delta, " grow / ", shrink_delta,
+                  " shrink stalls)");
+      }
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace emlio

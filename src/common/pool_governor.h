@@ -1,0 +1,118 @@
+// Shared adaptive pool governor — the "one controller" ROADMAP names for
+// both staged engines.
+//
+// Both ends of the data plane run a ThreadPool between two bounded queues and
+// already export a pair of opposing stall counters that say which stage is
+// starving:
+//
+//   daemon    grow:  sender_stalls     (wire found the prefetch queue empty —
+//                                       the encode pool is the bottleneck)
+//             shrink: enqueue_stalls   (encode found the queue full — the
+//                                       pool outran the wire; width is waste)
+//   receiver  grow:  decode_stalls     (ingest waited on a full decode
+//                                       window — decode is the bottleneck)
+//             shrink: resequence_stalls (completions pile up out of order —
+//                                       width beyond what ordering can use)
+//
+// PoolGovernor samples the two counters on a fixed interval, computes each
+// signal's share of the window's stall events, and steps the pool ±1 within
+// [min, max]. Three hysteresis guards keep it from flapping: a dominance
+// dead band (neither signal owning > `dominance` of the window holds the
+// size), a minimum event count (quiet windows hold), and a cooldown of
+// whole windows after every resize (the new width accumulates fresh evidence
+// before the next decision). Resizing itself is ThreadPool::
+// set_target_threads — grow spawns, shrink retires workers as they park —
+// so delivered streams stay byte-identical and identically ordered at every
+// width.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/thread_pool.h"
+
+namespace emlio {
+
+struct PoolGovernorConfig {
+  std::size_t min_threads = 1;
+  std::size_t max_threads = 8;
+  /// Control period — how often the stall window is evaluated.
+  std::chrono::milliseconds interval{20};
+  /// Dead band: act only when one signal owns at least this share of the
+  /// window's stall events. Must be > 0.5 or grow and shrink could both
+  /// qualify; the (dominance, 1 - dominance) gap is the hysteresis that
+  /// keeps a balanced pipeline from flapping.
+  double dominance = 0.65;
+  /// Ignore windows with fewer total stall events than this — an idle or
+  /// perfectly balanced window is not evidence to resize on.
+  std::uint64_t min_events = 4;
+  /// Whole windows to sit out after a resize, so the stepped width shows up
+  /// in the counters before the next decision.
+  std::uint64_t cooldown_windows = 1;
+
+  /// Build a config from the per-engine knobs, applying the shared rules
+  /// once: min clamped to >= 1, max 0 = auto (hardware concurrency clamped
+  /// to [2, 8] — the same rule the engines' static auto sizing uses),
+  /// max >= min, interval >= 1 ms.
+  static PoolGovernorConfig from_knobs(std::size_t min_threads, std::size_t max_threads,
+                                       std::uint64_t interval_ms);
+};
+
+/// Periodic controller that owns the sizing of one ThreadPool. Reads two
+/// externally-owned relaxed counters (they must outlive the governor, as
+/// must the pool) and steps the pool within [min_threads, max_threads].
+/// stop() (or destruction) halts the control thread before touching the pool
+/// again — destroy the governor before the pool it steers.
+class PoolGovernor {
+ public:
+  struct Stats {
+    std::uint64_t resizes = 0;  ///< grows + shrinks applied
+    std::uint64_t grows = 0;
+    std::uint64_t shrinks = 0;
+    std::size_t threads_current = 0;  ///< commanded width right now
+    std::size_t threads_peak = 0;     ///< widest the pool has been
+  };
+
+  /// `grow_signal` dominating a window grows `pool`; `shrink_signal`
+  /// dominating shrinks it. `name` labels the one log line per resize.
+  PoolGovernor(std::string name, ThreadPool& pool,
+               const std::atomic<std::uint64_t>& grow_signal,
+               const std::atomic<std::uint64_t>& shrink_signal, PoolGovernorConfig config);
+
+  ~PoolGovernor();
+
+  PoolGovernor(const PoolGovernor&) = delete;
+  PoolGovernor& operator=(const PoolGovernor&) = delete;
+
+  /// Halt the control thread (joins it). Idempotent; called by the dtor.
+  void stop();
+
+  Stats stats() const;
+
+ private:
+  void run();
+
+  const std::string name_;
+  ThreadPool& pool_;
+  const std::atomic<std::uint64_t>& grow_signal_;
+  const std::atomic<std::uint64_t>& shrink_signal_;
+  const PoolGovernorConfig config_;
+
+  std::atomic<std::uint64_t> resizes_{0};
+  std::atomic<std::uint64_t> grows_{0};
+  std::atomic<std::uint64_t> shrinks_{0};
+  std::atomic<std::size_t> current_{0};
+  std::atomic<std::size_t> peak_{0};
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace emlio

@@ -4,10 +4,9 @@ namespace emlio {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
-  workers_.reserve(num_threads);
-  for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
-  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  target_ = num_threads;
+  for (std::size_t i = 0; i < num_threads; ++i) spawn_one_locked();
 }
 
 ThreadPool::~ThreadPool() {
@@ -16,8 +15,11 @@ ThreadPool::~ThreadPool() {
     stop_ = true;
   }
   cv_.notify_all();
-  for (auto& w : workers_) {
-    if (w.joinable()) w.join();
+  // Workers never touch workers_ (they report retirement through retired_),
+  // so joining without the lock is safe — and parked retirees are in here
+  // too, joined exactly like live workers.
+  for (auto& [id, t] : workers_) {
+    if (t.joinable()) t.join();
   }
 }
 
@@ -34,15 +36,65 @@ void ThreadPool::wait_idle() {
   idle_cv_.wait(lock, [&] { return tasks_.empty() && active_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::set_target_threads(std::size_t n) {
+  if (n == 0) n = 1;
+  std::vector<std::thread> reap;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return;  // destructor owns every join from here on
+    target_ = n;
+    while (live_ < target_) spawn_one_locked();
+    // Reap workers that retired since the last resize: their loops have
+    // returned (they enqueue their id as the loop's final locked act), so
+    // the joins below cannot block on pool work.
+    reap.reserve(retired_.size());
+    for (std::uint64_t id : retired_) {
+      auto it = workers_.find(id);
+      reap.push_back(std::move(it->second));
+      workers_.erase(it);
+    }
+    retired_.clear();
+  }
+  // Shrink: wake parked workers so surplus ones notice and retire.
+  cv_.notify_all();
+  for (auto& t : reap) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::size_t ThreadPool::target_threads() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return target_;
+}
+
+std::size_t ThreadPool::thread_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return live_;
+}
+
+void ThreadPool::spawn_one_locked() {
+  std::uint64_t id = next_id_++;
+  workers_.emplace(id, std::thread([this, id] { worker_loop(id); }));
+  ++live_;
+}
+
+void ThreadPool::worker_loop(std::uint64_t id) {
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [&] { return stop_ || !tasks_.empty(); });
+      cv_.wait(lock, [&] { return stop_ || !tasks_.empty() || live_ > target_; });
       if (tasks_.empty()) {
-        if (stop_) return;
-        continue;
+        if (stop_) return;  // shutdown: the destructor joins everyone
+        if (live_ > target_) {
+          // Retire-on-park: the queue is drained and the pool is over
+          // target. Surplus workers leave one at a time (the decrement is
+          // serialized under mutex_), never below target.
+          --live_;
+          retired_.push_back(id);
+          return;
+        }
+        continue;  // spurious wakeup
       }
       task = std::move(tasks_.front());
       tasks_.pop_front();

@@ -69,6 +69,10 @@ Daemon::Daemon(DaemonConfig config, std::vector<tfrecord::ShardReader> readers,
     cc.policy = config_.cache_policy;
     cache_ = std::make_shared<cache::SampleCache>(cc);
   }
+  // Pipelined daemons build the pool (and governor) NOW, so stats() — a
+  // point-in-time snapshot any thread may take — never races a lazy
+  // first-epoch initialization. Serial daemons still spawn no extra threads.
+  if (config_.pipelined) ensure_encode_pool();
 }
 
 std::vector<std::uint32_t> Daemon::shard_ids() const {
@@ -78,17 +82,27 @@ std::vector<std::uint32_t> Daemon::shard_ids() const {
 }
 
 DaemonStats Daemon::stats() const {
+  // Relaxed loads throughout — see the counter convention on DaemonStats.
   DaemonStats s;
-  s.batches_sent = batches_sent_.load();
-  s.samples_sent = samples_sent_.load();
-  s.bytes_sent = bytes_sent_.load();
+  s.batches_sent = batches_sent_.load(std::memory_order_relaxed);
+  s.samples_sent = samples_sent_.load(std::memory_order_relaxed);
+  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
   s.encode_pool = pool_->stats();
-  s.enqueue_stalls = enqueue_stalls_.load();
-  s.sender_stalls = sender_stalls_.load();
-  s.queue_peak_depth = queue_peak_depth_.load();
-  s.errors = errors_.load();
-  s.store_reads = store_reads_.load();
-  s.store_records_read = store_records_read_.load();
+  s.enqueue_stalls = enqueue_stalls_.load(std::memory_order_relaxed);
+  s.sender_stalls = sender_stalls_.load(std::memory_order_relaxed);
+  s.queue_peak_depth = queue_peak_depth_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.store_reads = store_reads_.load(std::memory_order_relaxed);
+  s.store_records_read = store_records_read_.load(std::memory_order_relaxed);
+  if (governor_) {
+    auto g = governor_->stats();
+    s.pool_resizes = g.resizes;
+    s.pool_threads_current = g.threads_current;
+    s.pool_threads_peak = g.threads_peak;
+  } else if (encode_pool_) {
+    s.pool_threads_current = encode_pool_->target_threads();
+    s.pool_threads_peak = s.pool_threads_current;
+  }
   if (cache_) s.cache = cache_->stats();
   return s;
 }
@@ -104,6 +118,9 @@ json::Value to_json(const DaemonStats& s) {
   o["sender_stalls"] = s.sender_stalls;
   o["queue_peak_depth"] = s.queue_peak_depth;
   o["errors"] = s.errors;
+  o["pool_resizes"] = s.pool_resizes;
+  o["pool_threads_current"] = s.pool_threads_current;
+  o["pool_threads_peak"] = s.pool_threads_peak;
   o["store_reads"] = s.store_reads;
   o["store_records_read"] = s.store_records_read;
   o["cache_hits"] = s.cache.hits;
@@ -136,9 +153,36 @@ void Daemon::record_error(const std::string& what) {
 }
 
 void Daemon::note_queue_depth(std::size_t depth) {
+  // Cold path only: lane queues track their own peak inside push (one lock,
+  // no second size() round-trip per batch); the per-epoch peaks are folded
+  // in here after the senders join.
   std::uint64_t seen = queue_peak_depth_.load(std::memory_order_relaxed);
   while (depth > seen &&
          !queue_peak_depth_.compare_exchange_weak(seen, depth, std::memory_order_relaxed)) {
+  }
+}
+
+void Daemon::ensure_encode_pool() {
+  if (!encode_pool_) {
+    std::size_t n = config_.pool_threads ? config_.pool_threads : auto_pool_width();
+    encode_pool_ = std::make_unique<ThreadPool>(n);
+  }
+  if (config_.adaptive_pool && !governor_) {
+    auto gc = PoolGovernorConfig::from_knobs(config_.adaptive_min_threads,
+                                             config_.adaptive_max_threads,
+                                             config_.adaptive_interval_ms);
+    // Growth the admission windows cannot feed is pure waste: each lane
+    // admits at most prefetch_depth in-flight encode jobs and there is at
+    // most one lane per configured sink, so cap the governor at the summed
+    // admission windows instead of letting persistent sender stalls spawn
+    // workers that never run.
+    std::size_t feedable = std::max<std::size_t>(config_.prefetch_depth, 1) *
+                           std::max<std::size_t>(sinks_.size(), 1);
+    gc.max_threads = std::max(gc.min_threads, std::min(gc.max_threads, feedable));
+    // The wire starving (sender_stalls) grows the encode pool; the pool
+    // outrunning the wire (enqueue_stalls) shrinks it.
+    governor_ = std::make_unique<PoolGovernor>(config_.daemon_id + "/encode", *encode_pool_,
+                                               sender_stalls_, enqueue_stalls_, gc);
   }
 }
 
@@ -298,7 +342,6 @@ void Daemon::pump(SinkLane& lane) {
         }
         break;
       }
-      note_queue_depth(lane.queue.size());
       lane.resequencer.pop_front();  // try_push moved the value out of *head
       // One batch queued admits one new job: in-flight (running or parked)
       // stays ≤ the priming window.
@@ -341,14 +384,7 @@ void Daemon::sender_loop(SinkLane& lane, std::uint32_t epoch) {
 bool Daemon::pipelined_epoch(const EpochPlan& plan,
                              std::map<std::uint32_t, std::vector<BatchAssignment>>& local,
                              NodeCounters& counters) {
-  if (!encode_pool_) {
-    std::size_t n = config_.pool_threads;
-    if (n == 0) {
-      n = std::thread::hardware_concurrency();
-      n = std::clamp<std::size_t>(n, 2, 8);
-    }
-    encode_pool_ = std::make_unique<ThreadPool>(n);
-  }
+  ensure_encode_pool();
   const std::size_t depth = std::max<std::size_t>(1, config_.prefetch_depth);
 
   // One lane per destination node with locally-owned batches (already in
@@ -407,6 +443,7 @@ bool Daemon::pipelined_epoch(const EpochPlan& plan,
 
   bool clean = true;
   for (const auto& lane : lanes) {
+    note_queue_depth(lane->queue.peak_depth());
     if (lane->failed.load(std::memory_order_acquire)) clean = false;
   }
   return clean;

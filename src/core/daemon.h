@@ -32,6 +32,7 @@
 
 #include "cache/sample_cache.h"
 #include "common/clock.h"
+#include "common/pool_governor.h"
 #include "common/thread_pool.h"
 #include "common/timestamp_logger.h"
 #include "core/planner.h"
@@ -55,6 +56,16 @@ struct DaemonConfig {
   /// Per-sink encoded-batch prefetch queue capacity — the paper's HWM. Also
   /// bounds how many encode jobs may be in flight per sink.
   std::size_t prefetch_depth = 16;
+  /// Adaptive encode-pool sizing (pipelined engine only): a PoolGovernor
+  /// grows the pool when sender_stalls dominates the stall window (the wire
+  /// waits on encode) and shrinks it when enqueue_stalls does (encode outran
+  /// the wire), within [adaptive_min_threads, adaptive_max_threads]. The
+  /// pool still starts at pool_threads; 0 max = auto (hardware concurrency,
+  /// clamped to [2, 8] like pool_threads' auto).
+  bool adaptive_pool = false;
+  std::size_t adaptive_min_threads = 1;
+  std::size_t adaptive_max_threads = 0;
+  std::uint64_t adaptive_interval_ms = 20;
   /// Sample-cache byte budget. 0 (default) disables the cache; otherwise
   /// record payloads are kept in memory keyed by (shard, sample index), so
   /// warm epochs skip the shard read — and CRC verification — entirely
@@ -63,6 +74,14 @@ struct DaemonConfig {
   cache::CachePolicy cache_policy = cache::CachePolicy::kClock;
 };
 
+// Stats counter convention (both engines, daemon AND receiver — this is the
+// one place it is documented): every hot-path counter is an independent
+// relaxed std::atomic. Writers use fetch_add/compare_exchange with
+// memory_order_relaxed; snapshot readers (stats()) use relaxed loads. No
+// counter is used to publish other data, so no acquire/release pairing is
+// needed; cross-counter invariants (samples vs batches, received vs
+// delivered + dropped) settle once the stream is drained and the worker
+// threads are joined.
 struct DaemonStats {
   std::uint64_t batches_sent = 0;
   std::uint64_t samples_sent = 0;
@@ -73,8 +92,16 @@ struct DaemonStats {
                                       ///< full (disk/encode outran the wire)
   std::uint64_t sender_stalls = 0;    ///< sender pops that found the queue
                                       ///< empty (wire outran disk/encode)
-  std::uint64_t queue_peak_depth = 0; ///< max prefetch-queue occupancy seen
+  /// Max prefetch-queue occupancy seen. Lane queues track their own peak
+  /// inside push (no hot-path re-lock) and are folded in as each epoch's
+  /// senders join — so a mid-epoch snapshot reflects completed epochs only.
+  std::uint64_t queue_peak_depth = 0;
   std::uint64_t errors = 0;           ///< plan-validation + worker failures
+  // Encode-pool sizing (pipelined engine). Without the governor, current ==
+  // peak == the configured width and resizes stays 0.
+  std::uint64_t pool_resizes = 0;        ///< governor grow+shrink steps applied
+  std::uint64_t pool_threads_current = 0;///< encode-pool width right now
+  std::uint64_t pool_threads_peak = 0;   ///< widest the encode pool has been
   // Storage-read accounting (both engines). With the sample cache warm and
   // the dataset inside the budget, whole warm epochs add zero here — the
   // acceptance criterion bench_micro_cache asserts.
@@ -150,6 +177,7 @@ class Daemon {
   msgpack::WireBatch build_batch(const BatchAssignment& assignment) const;
   void record_error(const std::string& what);
   void note_queue_depth(std::size_t depth);
+  void ensure_encode_pool();
 
   DaemonConfig config_;
   std::map<std::uint32_t, tfrecord::ShardReader> readers_;
@@ -162,8 +190,9 @@ class Daemon {
   /// shared_ptr so in-flight batch views built from it stay valid however
   /// long the transport holds them.
   std::shared_ptr<cache::SampleCache> cache_;
-  /// Shared read+encode pool (pipelined engine; created on first use so
-  /// serial daemons spawn no extra threads).
+  /// Shared read+encode pool (pipelined engine; built at construction so
+  /// stats() never races its creation; null for serial daemons, which spawn
+  /// no extra threads).
   std::unique_ptr<ThreadPool> encode_pool_;
 
   std::atomic<std::uint64_t> batches_sent_{0};
@@ -179,6 +208,11 @@ class Daemon {
 
   mutable std::mutex error_mutex_;
   std::string last_error_;
+
+  /// Adaptive sizing controller over encode_pool_ (config_.adaptive_pool).
+  /// Declared last on purpose: it is destroyed first, so its control thread
+  /// stops before the pool and the stall counters it reads go away.
+  std::unique_ptr<PoolGovernor> governor_;
 };
 
 }  // namespace emlio::core

@@ -1,5 +1,6 @@
 #include "core/receiver.h"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 
@@ -39,8 +40,28 @@ Receiver::Receiver(ReceiverConfig config, std::vector<std::unique_ptr<net::Messa
     // feeds the decode pool under a bounded in-flight window (2× the pool:
     // enough parked results to keep every worker busy across out-of-order
     // completions, small enough that a stalled consumer stops ingest fast).
+    // Under the governor the window is sized for the widest pool it may
+    // grow, or admission would cap the parallelism the resize just bought.
     decode_pool_ = std::make_unique<ThreadPool>(config_.decode_threads);
-    window_ = std::max<std::size_t>(config_.decode_threads * 2, 4);
+    std::size_t window_width = config_.decode_threads;
+    if (config_.adaptive_pool) {
+      auto gc = PoolGovernorConfig::from_knobs(config_.adaptive_min_threads,
+                                               config_.adaptive_max_threads,
+                                               config_.adaptive_interval_ms);
+      // A consumer-bound engine also fills the window (workers block in
+      // emit, decode_stalls fire) but extra width cannot help it — cap the
+      // governor at what the consumer queue can absorb, the same "don't
+      // grow what downstream can't feed" rule the daemon applies to its
+      // admission windows.
+      gc.max_threads = std::max(
+          gc.min_threads, std::min(gc.max_threads, std::max<std::size_t>(config_.queue_capacity, 1)));
+      window_width = std::max(window_width, gc.max_threads);
+      // Ingest waiting on decode (decode_stalls) grows the pool; completions
+      // running ahead of ordering (resequence_stalls) shrink it.
+      governor_ = std::make_unique<PoolGovernor>("receiver/decode", *decode_pool_,
+                                                 decode_stalls_, resequence_stalls_, gc);
+    }
+    window_ = std::max<std::size_t>(window_width * 2, 4);
     ingest_active_ = sources_.size();
     for (auto& s : sources_) {
       threads_.emplace_back([this, src = s.get()] { ingest_loop(*src); });
@@ -79,8 +100,10 @@ Receiver::~Receiver() {
   for (auto& t : threads_) {
     if (t.joinable()) t.join();
   }
-  // Drains straggler decode jobs (their deliveries count as drops now that
-  // the queue is closed) before any member they touch goes away.
+  // Stop the governor before its pool, then drain straggler decode jobs
+  // (their deliveries count as drops now that the queue is closed) before
+  // any member they touch goes away.
+  governor_.reset();
   decode_pool_.reset();
 }
 
@@ -99,6 +122,8 @@ void Receiver::close() {
 std::optional<msgpack::WireBatch> Receiver::next() { return queue_.pop(); }
 
 ReceiverStats Receiver::stats() const {
+  // Relaxed loads throughout — see the counter convention on DaemonStats
+  // (core/daemon.h).
   ReceiverStats s;
   s.batches_received = batches_received_.load(std::memory_order_relaxed);
   s.samples_received = samples_received_.load(std::memory_order_relaxed);
@@ -107,9 +132,20 @@ ReceiverStats Receiver::stats() const {
   s.epochs_completed = epochs_completed_.load(std::memory_order_relaxed);
   s.decode_stalls = decode_stalls_.load(std::memory_order_relaxed);
   s.resequence_stalls = resequence_stalls_.load(std::memory_order_relaxed);
-  s.queue_peak_depth = queue_peak_depth_.load(std::memory_order_relaxed);
+  // The consumer queue tracks its own high-water mark inside push — the old
+  // per-delivery size() sample paid a second lock round-trip per batch.
+  s.queue_peak_depth = queue_.peak_depth();
   s.decode_ns = decode_ns_.load(std::memory_order_relaxed);
   s.dropped_on_close = dropped_on_close_.load(std::memory_order_relaxed);
+  if (governor_) {
+    auto g = governor_->stats();
+    s.pool_resizes = g.resizes;
+    s.pool_threads_current = g.threads_current;
+    s.pool_threads_peak = g.threads_peak;
+  } else if (decode_pool_) {
+    s.pool_threads_current = decode_pool_->target_threads();
+    s.pool_threads_peak = s.pool_threads_current;
+  }
   return s;
 }
 
@@ -125,6 +161,9 @@ json::Value to_json(const ReceiverStats& s) {
   o["queue_peak_depth"] = s.queue_peak_depth;
   o["decode_ns"] = s.decode_ns;
   o["dropped_on_close"] = s.dropped_on_close;
+  o["pool_resizes"] = s.pool_resizes;
+  o["pool_threads_current"] = s.pool_threads_current;
+  o["pool_threads_peak"] = s.pool_threads_peak;
   return json::Value(std::move(o));
 }
 
@@ -180,26 +219,37 @@ void Receiver::emit(msgpack::WireBatch&& batch) {
   // will never be seen — the old engine lost these silently.
   const bool is_marker = batch.last;
   if (!delivery_rejected_) {
-    if (queue_.push(std::move(batch))) {
-      note_queue_depth();
-      return;
-    }
+    if (queue_.push(std::move(batch))) return;
     delivery_rejected_ = true;
   }
   if (is_marker) return;  // synthesized markers are not lost data
-  dropped_on_close_.fetch_add(1, std::memory_order_relaxed);
-  if (!drop_logged_) {
-    drop_logged_ = true;
-    log::warn("receiver: consumer queue closed with decoded batches in flight; "
-              "counting drops in ReceiverStats::dropped_on_close");
+  count_drop(1, "consumer queue closed with decoded batches in flight");
+}
+
+namespace {
+
+/// Shutdown-path classification of a raw payload the engine refused to
+/// admit: only successfully-decoding data batches count as lost data —
+/// epoch sentinels follow emit()'s "markers are not lost data" rule and
+/// garbage would have become a tombstone, not a delivery. Cold path only
+/// (the engine is closing), so the throwaway decode costs nothing that
+/// matters.
+bool payload_is_data(const Payload& payload) {
+  try {
+    return !msgpack::BatchCodec::decode(payload).last;
+  } catch (const std::exception&) {
+    return false;
   }
 }
 
-void Receiver::note_queue_depth() {
-  std::uint64_t depth = queue_.size();
-  std::uint64_t seen = queue_peak_depth_.load(std::memory_order_relaxed);
-  while (depth > seen &&
-         !queue_peak_depth_.compare_exchange_weak(seen, depth, std::memory_order_relaxed)) {
+}  // namespace
+
+void Receiver::count_drop(std::uint64_t n, const char* where) {
+  dropped_on_close_.fetch_add(n, std::memory_order_relaxed);
+  // The one log line for every shutdown-drop path, serial and pooled engine
+  // alike; exchange() keeps it to a single emission across all of them.
+  if (!drop_logged_.exchange(true, std::memory_order_relaxed)) {
+    log::warn("receiver: ", where, "; counting drops in ReceiverStats::dropped_on_close");
   }
 }
 
@@ -225,13 +275,7 @@ void Receiver::finish_stage_member(bool is_ingest, bool delivery_held) {
     if (!delivery_held) delivery.lock();
     std::size_t held = epochs_.held_count();
     if (held > 0) {
-      dropped_on_close_.fetch_add(held, std::memory_order_relaxed);
-      if (!drop_logged_) {
-        drop_logged_ = true;
-        log::warn("receiver: stream ended with ", held,
-                  " decoded batch(es) held for incomplete epochs; counted in "
-                  "ReceiverStats::dropped_on_close");
-      }
+      count_drop(held, "stream ended with decoded batch(es) held for incomplete epochs");
     }
   }
   queue_.close();
@@ -255,7 +299,15 @@ void Receiver::serial_loop(net::MessageSource& source) {
 
 void Receiver::mux_pump(net::MessageSource& source) {
   while (auto payload = source.recv()) {
-    if (!mux_->push(std::move(*payload))) return;  // shutting down
+    if (!mux_->push(std::move(*payload))) {
+      // Shutting down: the mux rejected a payload this pump already pulled
+      // off the wire — same mid-admission loss as the pooled window close.
+      // (Rejected pushes leave the payload in place, so it is inspectable.)
+      if (payload_is_data(*payload)) {
+        count_drop(1, "engine closed with a payload pulled off the wire mid-admission");
+      }
+      return;
+    }
   }
   if (mux_pumps_open_.fetch_sub(1, std::memory_order_acq_rel) == 1) mux_->close();
 }
@@ -274,7 +326,16 @@ void Receiver::ingest_loop(net::MessageSource& source) {
         decode_stalls_.fetch_add(1, std::memory_order_relaxed);
         window_cv_.wait(lock, [&] { return inflight_ < window_ || window_closed_; });
       }
-      if (window_closed_) break;
+      if (window_closed_) {
+        // This payload is already off the wire but was refused admission by
+        // the closing engine — without the count it would simply vanish
+        // (received != delivered + dropped, and nobody would know why).
+        lock.unlock();
+        if (payload_is_data(*payload)) {
+          count_drop(1, "engine closed with a payload pulled off the wire mid-admission");
+        }
+        break;
+      }
       ++inflight_;
       // The ticket defines delivery order; stamping it under the same lock
       // as admission keeps the two atomic per payload.

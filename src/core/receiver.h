@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "common/bounded_queue.h"
+#include "common/pool_governor.h"
 #include "common/sequencer.h"
 #include "common/thread_pool.h"
 #include "common/timestamp_logger.h"
@@ -58,6 +59,16 @@ struct ReceiverConfig {
   /// N > 0 = pooled engine: N decode workers behind per-source ingest
   /// threads, re-sequenced to the serial engine's exact delivery order.
   std::size_t decode_threads = 0;
+  /// Adaptive decode-pool sizing (pooled engine only): a PoolGovernor grows
+  /// the pool when decode_stalls dominates the stall window (ingest waits on
+  /// decode) and shrinks it when resequence_stalls does (completions run
+  /// ahead of ordering), within [adaptive_min_threads, adaptive_max_threads].
+  /// The pool still starts at decode_threads; 0 max = auto (hardware
+  /// concurrency, clamped to [2, 8]).
+  bool adaptive_pool = false;
+  std::size_t adaptive_min_threads = 1;
+  std::size_t adaptive_max_threads = 0;
+  std::uint64_t adaptive_interval_ms = 20;
 };
 
 struct ReceiverStats {
@@ -76,10 +87,19 @@ struct ReceiverStats {
   std::uint64_t queue_peak_depth = 0;   ///< max consumer-queue occupancy seen
   std::uint64_t decode_ns = 0;          ///< cumulative wall time inside
                                         ///< BatchCodec::decode (both engines)
-  /// Batches that were decoded but never reached the consumer: rejected by a
-  /// closed queue, or still held for a future epoch when the stream ended
-  /// (a sender died mid-epoch). The old engine dropped these silently.
+  /// Batches that never reached the consumer after the receiver took them
+  /// off the wire: decoded but rejected by a closed queue, still held for a
+  /// future epoch when the stream ended (a sender died mid-epoch), or pulled
+  /// off a source and then refused admission by a closing engine (the
+  /// mid-admission window close and the mux shutdown used to lose these
+  /// without a trace). Data payloads the receiver pulls off the wire always
+  /// reconcile: pulled = delivered + dropped_on_close.
   std::uint64_t dropped_on_close = 0;
+  // Decode-pool sizing (pooled engine). Without the governor, current ==
+  // peak == the configured width and resizes stays 0.
+  std::uint64_t pool_resizes = 0;        ///< governor grow+shrink steps applied
+  std::uint64_t pool_threads_current = 0;///< decode-pool width right now
+  std::uint64_t pool_threads_peak = 0;   ///< widest the decode pool has been
 };
 
 /// Serialize the stats block as one flat JSON object (`emlio_receive
@@ -115,10 +135,10 @@ class Receiver {
   /// Stop receiving (unblocks next()). Idempotent.
   void close();
 
-  /// Point-in-time snapshot. Every counter is an independent relaxed atomic
-  /// (the per-batch mutex is gone from the hot path), so the snapshot is
-  /// internally consistent per counter; cross-counter invariants (e.g.
-  /// samples vs batches) settle once the stream is drained.
+  /// Point-in-time snapshot. Follows the stats counter convention documented
+  /// on DaemonStats (core/daemon.h): independent relaxed atomics, internally
+  /// consistent per counter; cross-counter invariants settle once the stream
+  /// is drained.
   ReceiverStats stats() const;
 
  private:
@@ -139,7 +159,8 @@ class Receiver {
   void process_batch(msgpack::WireBatch&& batch, std::size_t wire_bytes);
   void emit(msgpack::WireBatch&& batch);
   void finish_stage_member(bool is_ingest, bool delivery_held = false);
-  void note_queue_depth();
+  /// Count a payload/batch lost to shutdown and emit the one warn line.
+  void count_drop(std::uint64_t n, const char* where);
 
   ReceiverConfig config_;
   std::vector<std::unique_ptr<net::MessageSource>> sources_;
@@ -168,7 +189,9 @@ class Receiver {
   std::mutex delivery_mutex_;
   EpochSequencer<msgpack::WireBatch> epochs_;  ///< guarded by delivery_mutex_
   bool delivery_rejected_ = false;             ///< queue_ closed under us
-  bool drop_logged_ = false;
+  /// Atomic, not delivery_mutex_-guarded: drops are also counted from the
+  /// ingest threads (window closed mid-admission) and the mux pumps.
+  std::atomic<bool> drop_logged_{false};
 
   // Serial engine, multi-source: raw payload mux feeding one decode thread.
   std::unique_ptr<BoundedQueue<Payload>> mux_;
@@ -183,9 +206,13 @@ class Receiver {
   std::atomic<std::uint64_t> epochs_completed_{0};
   std::atomic<std::uint64_t> decode_stalls_{0};
   std::atomic<std::uint64_t> resequence_stalls_{0};
-  std::atomic<std::uint64_t> queue_peak_depth_{0};
   std::atomic<std::uint64_t> decode_ns_{0};
   std::atomic<std::uint64_t> dropped_on_close_{0};
+
+  /// Adaptive sizing controller over decode_pool_ (config_.adaptive_pool).
+  /// Declared last on purpose: it is destroyed first, so its control thread
+  /// stops before the pool and the stall counters it reads go away.
+  std::unique_ptr<PoolGovernor> governor_;
 };
 
 }  // namespace emlio::core

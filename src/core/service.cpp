@@ -84,6 +84,10 @@ void EmlioService::start() {
   dc.pipelined = config_.pipelined;
   dc.pool_threads = config_.pipeline_pool_threads;
   dc.prefetch_depth = config_.prefetch_depth ? config_.prefetch_depth : config_.high_water_mark;
+  dc.adaptive_pool = config_.adaptive_pool;
+  dc.adaptive_min_threads = config_.adaptive_min_threads;
+  dc.adaptive_max_threads = config_.adaptive_max_threads;
+  dc.adaptive_interval_ms = config_.adaptive_interval_ms;
   dc.cache_bytes = config_.cache_bytes;
   dc.cache_policy = *cache::parse_policy(config_.cache_policy);  // validated in ctor
   daemon_ = std::make_unique<Daemon>(dc, std::move(readers), std::move(sinks), &timestamps_);
@@ -92,6 +96,21 @@ void EmlioService::start() {
   rc.num_senders = 1;
   rc.queue_capacity = config_.receiver_queue;
   rc.decode_threads = config_.decode_threads;
+  rc.adaptive_pool = config_.adaptive_pool;
+  rc.adaptive_min_threads = config_.adaptive_min_threads;
+  rc.adaptive_max_threads = config_.adaptive_max_threads;
+  rc.adaptive_interval_ms = config_.adaptive_interval_ms;
+  if (config_.adaptive_pool && rc.decode_threads == 0) {
+    // adaptive_pool asks for governed engines; the serial receiver has no
+    // pool to govern, so start the pooled engine at the governor's floor
+    // (the same fallback emlio_receive applies) instead of silently
+    // ignoring the knob.
+    rc.decode_threads = std::max<std::size_t>(config_.adaptive_min_threads, 1);
+  }
+  if (config_.adaptive_pool && !config_.pipelined) {
+    log::warn("emlio service: serial daemon engine has no encode pool; "
+              "--adaptive-pool governs only the receiver decode pool");
+  }
   receiver_ = std::make_unique<Receiver>(rc, std::move(source), &timestamps_);
 
   daemon_thread_ = std::thread([this, sink] {

@@ -44,6 +44,19 @@ struct ServiceConfig {
   /// 0 = the legacy serial receive-decode thread; N > 0 = pooled decode
   /// workers with re-sequenced (delivery-order-identical) output.
   std::size_t decode_threads = 0;
+  /// Shared stall-ratio pool governor, one instance per staged engine: the
+  /// daemon's encode pool grows when sender_stalls dominates (and shrinks on
+  /// enqueue_stalls), the receiver's decode pool grows when decode_stalls
+  /// dominates (and shrinks on resequence_stalls). Bounds and control
+  /// interval are shared by both governors; 0 max = auto (hardware
+  /// concurrency, clamped to [2, 8]). With decode_threads == 0 the receiver
+  /// is started at adaptive_min_threads so the governor has a pool to steer
+  /// (a serial daemon engine, pipelined == false, stays ungoverned — warned
+  /// at start()).
+  bool adaptive_pool = false;
+  std::size_t adaptive_min_threads = 1;
+  std::size_t adaptive_max_threads = 0;
+  std::uint64_t adaptive_interval_ms = 20;
   /// Daemon-side sample cache: byte budget (0 = off) and eviction policy
   /// ("clock" or "lru" — parsed by cache::parse_policy; anything else makes
   /// start() throw). When the dataset fits the budget, warm epochs are

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "eval/rig.h"
 #include "sim/engine.h"
 #include "sim/pipe.h"
@@ -361,15 +362,24 @@ ScenarioResult run_emlio(const ScenarioConfig& cfg) {
   // daemon's worker count (DaemonConfig::pool_threads), and a bounded
   // encoded-batch queue sits between encode and the wire
   // (DaemonConfig::prefetch_depth). Defaults model the serial engine.
-  const std::size_t pool_threads =
+  std::size_t pool_threads =
       p.emlio_pool_threads ? p.emlio_pool_threads : p.emlio_daemon_threads;
-  sim::Server serialize_pool(eng, pool_threads, &daemon_host.cpu());
   // Receiver-side decode fan-out (ReceiverConfig::decode_threads): the
   // pooled receiver widens the deserialize stage the same way pool_threads
   // widens the storage-side encode stage.
-  const std::size_t decode_threads =
+  std::size_t decode_threads =
       p.emlio_decode_threads ? p.emlio_decode_threads
                              : static_cast<std::size_t>(p.deserialize_threads);
+  // Adaptive pool governor: model the converged steady state. A stage whose
+  // width was tuned explicitly (the figures' T for serialize, an explicit
+  // decode_threads) is modeled as the governor converging to that tuning —
+  // the figures' independent variables stay theirs. Only a stage nobody
+  // sized (emlio_decode_threads == 0, legacy deserialize default) converges
+  // to the hosting node's auto width instead.
+  if (p.emlio_adaptive_pool && p.emlio_decode_threads == 0) {
+    decode_threads = auto_pool_width(cfg.compute_node.cpu_threads);
+  }
+  sim::Server serialize_pool(eng, pool_threads, &daemon_host.cpu());
   sim::Server deserialize_pool(eng, decode_threads, &compute.cpu());
   sim::AsyncSemaphore hwm(p.emlio_hwm * p.emlio_streams);
   sim::AsyncSemaphore prefetch(p.emlio_prefetch_q);

@@ -7,11 +7,16 @@
 //   emlio_daemon --data DIR --connect localhost:5555
 //       [--batch 128] [--epochs 1] [--threads 2] [--streams 2] [--hwm 16]
 //       [--pool 0] [--prefetch 16] [--serial]
+//       [--adaptive-pool] [--adaptive-min 1] [--adaptive-max 0]
 //       [--cache-mb 0] [--cache-policy clock|lru] [--stats-json PATH]
 //
 // --pool sizes the shared read+encode thread pool (0 = auto), --prefetch the
 // per-sink encoded-batch queue (the HWM of the storage-side pipeline);
 // --serial falls back to the legacy one-thread-per-worker loop for A/B runs.
+// --adaptive-pool hands the pool's sizing to the stall-ratio governor: it
+// grows the pool when sender stalls dominate (the wire waits on encode) and
+// shrinks it when enqueue stalls do, within [--adaptive-min, --adaptive-max]
+// (0 max = auto); --pool then only sets the starting width.
 // --cache-mb gives the sample cache a byte budget (0 = off): record payloads
 // stay resident across epochs so warm epochs skip shard reads entirely;
 // --cache-policy picks its eviction policy. --stats-json dumps the final
@@ -33,7 +38,8 @@ int main(int argc, char** argv) {
   std::string cache_policy = "clock", stats_json;
   std::size_t batch = 128, threads = 2, streams = 2, hwm = 16;
   std::size_t pool = 0, prefetch = 16, cache_mb = 0;
-  bool serial = false;
+  std::size_t adaptive_min = 1, adaptive_max = 0;
+  bool serial = false, adaptive = false;
   std::uint32_t epochs = 1;
   std::uint64_t seed = 1234;
   for (int i = 1; i < argc; ++i) {
@@ -51,6 +57,9 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--pool")) pool = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--prefetch")) prefetch = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--serial")) serial = true;
+    else if (!std::strcmp(argv[i], "--adaptive-pool")) adaptive = true;
+    else if (!std::strcmp(argv[i], "--adaptive-min")) adaptive_min = std::strtoul(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--adaptive-max")) adaptive_max = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--seed")) seed = std::strtoull(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--cache-mb")) cache_mb = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--cache-policy")) cache_policy = next();
@@ -59,6 +68,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "usage: emlio_daemon --data DIR --connect HOST:PORT "
                            "[--batch B] [--epochs E] [--threads T] [--streams S] [--hwm H] "
                            "[--pool N] [--prefetch D] [--serial] "
+                           "[--adaptive-pool] [--adaptive-min N] [--adaptive-max N] "
                            "[--cache-mb MB] [--cache-policy clock|lru] [--stats-json PATH]\n");
       return 2;
     }
@@ -73,6 +83,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "emlio_daemon: --data is required\n");
     return 2;
   }
+  if (serial && adaptive) {
+    // The serial engine has no pool to govern; say so instead of printing a
+    // forever-zero governor line that reads like a broken controller.
+    std::fprintf(stderr, "emlio_daemon: --serial has no encode pool; ignoring --adaptive-pool\n");
+    adaptive = false;
+  }
+  if (adaptive_min == 0) adaptive_min = 1;  // same clamp the library applies
   auto colon = connect_to.find(':');
   if (colon == std::string::npos) {
     std::fprintf(stderr, "emlio_daemon: --connect must be HOST:PORT\n");
@@ -110,6 +127,9 @@ int main(int argc, char** argv) {
     dc.pipelined = !serial;
     dc.pool_threads = pool;
     dc.prefetch_depth = prefetch;
+    dc.adaptive_pool = adaptive;
+    dc.adaptive_min_threads = adaptive_min;
+    dc.adaptive_max_threads = adaptive_max;
     dc.cache_bytes = cache_mb << 20;
     dc.cache_policy = *policy;
     core::Daemon daemon(dc, std::move(readers), sinks);
@@ -125,6 +145,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.enqueue_stalls),
                 static_cast<unsigned long long>(stats.sender_stalls),
                 static_cast<unsigned long long>(stats.queue_peak_depth));
+    if (adaptive) {
+      std::printf("emlio_daemon: governor — %llu resizes, encode pool now %llu threads "
+                  "(peak %llu)\n",
+                  static_cast<unsigned long long>(stats.pool_resizes),
+                  static_cast<unsigned long long>(stats.pool_threads_current),
+                  static_cast<unsigned long long>(stats.pool_threads_peak));
+    }
     if (cache_mb > 0) {
       std::printf("emlio_daemon: cache (%s, %zu MB) — %llu hits / %llu misses, "
                   "%llu evictions (%llu pinned skips), peak resident %.1f MB\n",

@@ -3,13 +3,19 @@
 // mock training loop, and reports per-epoch coverage/integrity.
 //
 //   emlio_receive --port 5555 [--senders 1] [--epochs 1] [--expected N]
-//       [--decode-threads N] [--serial] [--stats-json PATH]
+//       [--decode-threads N] [--serial]
+//       [--adaptive-pool] [--adaptive-min 1] [--adaptive-max 0]
+//       [--stats-json PATH]
 //
 // --decode-threads sizes the receiver's decode pool (0 = the legacy serial
 // receive-decode thread); --serial forces the serial engine regardless of
-// --decode-threads (A/B runs, mirroring emlio_daemon --serial). --stats-json
-// dumps the final ReceiverStats (throughput + decode-pipeline counters) as a
-// JSON file at exit, same contract as emlio_daemon --stats-json.
+// --decode-threads (A/B runs, mirroring emlio_daemon --serial).
+// --adaptive-pool hands the decode pool's sizing to the stall-ratio governor
+// (grow on decode stalls, shrink on resequence stalls, within
+// [--adaptive-min, --adaptive-max], 0 max = auto); --decode-threads then only
+// sets the starting width and must be > 0. --stats-json dumps the final
+// ReceiverStats (throughput + decode-pipeline counters) as a JSON file at
+// exit, same contract as emlio_daemon --stats-json.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -27,7 +33,8 @@ int main(int argc, char** argv) {
   std::uint32_t epochs = 1;
   std::uint64_t expected = 0;
   std::size_t decode_threads = 0;
-  bool serial = false;
+  std::size_t adaptive_min = 1, adaptive_max = 0;
+  bool serial = false, adaptive = false;
   std::string stats_json;
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
@@ -40,15 +47,25 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--expected")) expected = std::strtoull(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--decode-threads")) decode_threads = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--serial")) serial = true;
+    else if (!std::strcmp(argv[i], "--adaptive-pool")) adaptive = true;
+    else if (!std::strcmp(argv[i], "--adaptive-min")) adaptive_min = std::strtoul(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--adaptive-max")) adaptive_max = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--stats-json")) stats_json = next();
     else {
       std::fprintf(stderr,
                    "usage: emlio_receive --port P [--senders N] [--epochs E] [--expected N] "
-                   "[--decode-threads N] [--serial] [--stats-json PATH]\n");
+                   "[--decode-threads N] [--serial] "
+                   "[--adaptive-pool] [--adaptive-min N] [--adaptive-max N] "
+                   "[--stats-json PATH]\n");
       return 2;
     }
   }
-  if (serial) decode_threads = 0;
+  if (serial) {
+    decode_threads = 0;
+    adaptive = false;  // the serial engine has no pool to govern
+  }
+  if (adaptive_min == 0) adaptive_min = 1;  // same clamp the library applies
+  if (adaptive && decode_threads == 0) decode_threads = adaptive_min;
 
   try {
     auto pull = std::make_unique<net::PullSocket>(port, /*queue_capacity=*/64);
@@ -67,6 +84,9 @@ int main(int argc, char** argv) {
     core::ReceiverConfig rc;
     rc.num_senders = senders;
     rc.decode_threads = decode_threads;
+    rc.adaptive_pool = adaptive;
+    rc.adaptive_min_threads = adaptive_min;
+    rc.adaptive_max_threads = adaptive_max;
     core::Receiver receiver(rc, std::make_unique<PullSource>(pull.get()));
 
     train::TrainerOptions topt;
@@ -104,6 +124,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.queue_peak_depth),
                 static_cast<double>(stats.decode_ns) / 1e6,
                 static_cast<unsigned long long>(stats.dropped_on_close));
+    if (adaptive) {
+      std::printf("emlio_receive: governor — %llu resizes, decode pool now %llu threads "
+                  "(peak %llu)\n",
+                  static_cast<unsigned long long>(stats.pool_resizes),
+                  static_cast<unsigned long long>(stats.pool_threads_current),
+                  static_cast<unsigned long long>(stats.pool_threads_peak));
+    }
     if (!stats_json.empty()) {
       json::write_file(stats_json, core::to_json(stats));
       std::printf("emlio_receive: stats written to %s\n", stats_json.c_str());

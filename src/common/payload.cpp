@@ -25,7 +25,12 @@ void check_slice(std::size_t offset, std::size_t length, std::size_t size) {
 
 // ---------------------------------------------------------------- Payload
 
-Payload::Payload(std::vector<std::uint8_t>&& bytes) : storage_(adopt(std::move(bytes))) {}
+Payload::Payload(std::vector<std::uint8_t>&& bytes) {
+  auto storage = adopt(std::move(bytes));
+  data_ = storage->data();
+  size_ = storage->size();
+  keep_alive_ = std::move(storage);
+}
 
 Payload Payload::copy_of(std::span<const std::uint8_t> bytes) {
   PayloadCounters::bytes_copied.fetch_add(bytes.size(), std::memory_order_relaxed);
@@ -33,9 +38,21 @@ Payload Payload::copy_of(std::span<const std::uint8_t> bytes) {
   return Payload(std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
 }
 
+Payload Payload::wrap_external(const std::uint8_t* data, std::size_t size,
+                               std::function<void()> release) {
+  // The stored pointer is the external bytes themselves; the deleter ignores
+  // it and runs the caller's releaser. A shared_ptr deleter runs even when
+  // the stored pointer is null, so an empty message still releases its slab.
+  std::shared_ptr<const void> keep_alive(static_cast<const void*>(data),
+                                         [rel = std::move(release)](const void*) {
+                                           if (rel) rel();
+                                         });
+  return Payload(std::move(keep_alive), data, size);
+}
+
 PayloadView Payload::slice(std::size_t offset, std::size_t length) const {
   check_slice(offset, length, size());
-  return PayloadView(storage_, data() + offset, length);
+  return PayloadView(keep_alive_, data_ + offset, length);
 }
 
 bool Payload::operator==(const Payload& other) const noexcept {
@@ -104,7 +121,9 @@ Payload BufferPool::seal(ByteBuffer&& buf) {
         }
         delete mutable_storage;
       });
-  return Payload(std::move(storage));
+  const std::uint8_t* data = storage->data();
+  const std::size_t size = storage->size();
+  return Payload(std::shared_ptr<const void>(std::move(storage)), data, size);
 }
 
 void BufferPool::release(std::vector<std::uint8_t>&& storage) {

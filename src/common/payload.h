@@ -21,6 +21,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <initializer_list>
 #include <memory>
 #include <mutex>
@@ -66,10 +67,18 @@ class Payload {
   /// Deep-copy `bytes` into a fresh buffer (counted in PayloadCounters).
   static Payload copy_of(std::span<const std::uint8_t> bytes);
 
-  std::size_t size() const noexcept { return storage_ ? storage_->size() : 0; }
-  bool empty() const noexcept { return size() == 0; }
-  const std::uint8_t* data() const noexcept { return storage_ ? storage_->data() : nullptr; }
-  std::uint8_t operator[](std::size_t i) const { return (*storage_)[i]; }
+  /// Wrap memory owned by something that is not a heap vector — a shared-
+  /// memory slab, an mmap region — without copying. `release` runs exactly
+  /// once, when the last handle (Payload or derived PayloadView) drops; it is
+  /// how the slab returns to its pool. The bytes must stay valid and
+  /// unmodified until then.
+  static Payload wrap_external(const std::uint8_t* data, std::size_t size,
+                               std::function<void()> release);
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  const std::uint8_t* data() const noexcept { return data_; }
+  std::uint8_t operator[](std::size_t i) const { return data_[i]; }
 
   std::span<const std::uint8_t> view() const noexcept { return {data(), size()}; }
   /*implicit*/ operator std::span<const std::uint8_t>() const noexcept { return view(); }
@@ -78,7 +87,7 @@ class Payload {
   PayloadView slice(std::size_t offset, std::size_t length) const;
 
   /// Handles (Payloads + views) currently sharing the storage. 0 when empty.
-  long use_count() const noexcept { return storage_ ? storage_.use_count() : 0; }
+  long use_count() const noexcept { return keep_alive_ ? keep_alive_.use_count() : 0; }
 
   /// Deep copy out (tests / cold paths only).
   std::vector<std::uint8_t> to_vector() const { return {data(), data() + size()}; }
@@ -90,10 +99,14 @@ class Payload {
  private:
   friend class BufferPool;
   friend class PayloadView;
-  explicit Payload(std::shared_ptr<const std::vector<std::uint8_t>> storage)
-      : storage_(std::move(storage)) {}
+  Payload(std::shared_ptr<const void> keep_alive, const std::uint8_t* data, std::size_t size)
+      : keep_alive_(std::move(keep_alive)), data_(data), size_(size) {}
 
-  std::shared_ptr<const std::vector<std::uint8_t>> storage_;
+  // Type-erased ownership (same shape as PayloadView): the storage may be a
+  // heap vector, a pooled buffer, or foreign memory with a custom releaser.
+  std::shared_ptr<const void> keep_alive_;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
 };
 
 /// A ref-counted slice of bytes. WireSample.bytes is a PayloadView: when the
@@ -121,7 +134,7 @@ class PayloadView {
 
   /// Share ownership of a whole Payload.
   /*implicit*/ PayloadView(const Payload& payload) noexcept
-      : keep_alive_(payload.storage_), data_(payload.data()), size_(payload.size()) {}
+      : keep_alive_(payload.keep_alive_), data_(payload.data()), size_(payload.size()) {}
 
   /// Deep-copy `bytes` into a fresh owned buffer (counted in PayloadCounters).
   static PayloadView copy_of(std::span<const std::uint8_t> bytes);
@@ -148,7 +161,7 @@ class PayloadView {
     return keep_alive_ && keep_alive_ == other.keep_alive_;
   }
   bool shares_storage_with(const Payload& payload) const noexcept {
-    return keep_alive_ && keep_alive_ == payload.storage_;
+    return keep_alive_ && keep_alive_ == payload.keep_alive_;
   }
 
   /// Deep copy out (the only way to get mutable bytes back).

@@ -94,6 +94,10 @@ DaemonStats Daemon::stats() const {
   s.errors = errors_.load(std::memory_order_relaxed);
   s.store_reads = store_reads_.load(std::memory_order_relaxed);
   s.store_records_read = store_records_read_.load(std::memory_order_relaxed);
+  for (const auto& [id, sink] : sinks_) {
+    (void)id;
+    s.wire_syscalls += sink->data_syscalls();
+  }
   if (governor_) {
     auto g = governor_->stats();
     s.pool_resizes = g.resizes;
@@ -123,6 +127,7 @@ json::Value to_json(const DaemonStats& s) {
   o["pool_threads_peak"] = s.pool_threads_peak;
   o["store_reads"] = s.store_reads;
   o["store_records_read"] = s.store_records_read;
+  o["wire_syscalls"] = s.wire_syscalls;
   o["cache_hits"] = s.cache.hits;
   o["cache_misses"] = s.cache.misses;
   o["cache_inserts"] = s.cache.inserts;

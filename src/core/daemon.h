@@ -107,6 +107,12 @@ struct DaemonStats {
   // acceptance criterion bench_micro_cache asserts.
   std::uint64_t store_reads = 0;         ///< contiguous shard slice reads
   std::uint64_t store_records_read = 0;  ///< records those reads covered
+  /// Byte-moving syscalls the sinks issued on the wire path (summed over
+  /// sinks from MessageSink::data_syscalls). The transport audit: the TCP
+  /// lane reports ~1 per batch (one scatter-gather sendmsg per frame), the
+  /// shm lane exactly 0 — its data plane never enters the kernel. Futex
+  /// parking and other control syscalls are excluded on every transport.
+  std::uint64_t wire_syscalls = 0;
   cache::SampleCacheStats cache;         ///< zeros when the cache is off
 };
 

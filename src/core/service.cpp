@@ -1,8 +1,12 @@
 #include "core/service.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <stdexcept>
 
 #include "common/log.h"
+#include "net/shm_channel.h"
 
 namespace emlio::core {
 
@@ -46,7 +50,23 @@ void EmlioService::start() {
   std::shared_ptr<net::MessageSink> sink;
   std::unique_ptr<net::MessageSource> source;
 
-  if (config_.transport == Transport::kTcp) {
+  if (config_.transport == Transport::kShm) {
+    std::string name = config_.shm_name;
+    if (name.empty()) {
+      // Unique per (process, service instance): parallel test services and
+      // leftover names from unrelated runs cannot collide.
+      static std::atomic<std::uint64_t> seq{0};
+      name = "emlio." + std::to_string(static_cast<unsigned long>(::getpid())) + "." +
+             std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+    }
+    net::ShmOptions so;
+    so.slab_bytes = config_.shm_slab_bytes;
+    so.slab_count = config_.shm_slab_count ? config_.shm_slab_count : config_.high_water_mark;
+    // Sink first (it creates the segment), then attach the source — the
+    // same order the two-process tools use, minus the attach-wait.
+    sink = std::make_shared<net::ShmMessageSink>(name, so);
+    source = std::make_unique<net::ShmMessageSource>(name);
+  } else if (config_.transport == Transport::kTcp) {
     pull_ = std::make_unique<net::PullSocket>(/*port=*/0, config_.receiver_queue);
     net::PushPullOptions opts;
     opts.high_water_mark = config_.high_water_mark;

@@ -24,6 +24,7 @@ namespace emlio::core {
 enum class Transport {
   kInProcess,  ///< latency-injectable in-process channel (tests, emulation)
   kTcp,        ///< framed TCP over loopback (the production path)
+  kShm,        ///< shared-memory slab ring — same-host zero-syscall lane
 };
 
 struct ServiceConfig {
@@ -68,6 +69,14 @@ struct ServiceConfig {
   bool verify_crc = false;
   Transport transport = Transport::kInProcess;
   net::SimLinkConfig link;            ///< kInProcess latency/bandwidth model
+  /// kShm knobs. shm_name "" auto-generates a per-process unique name (the
+  /// segment is created by the daemon side and unlinked at teardown, so
+  /// auto-named in-process services never collide or leak). shm_slab_bytes
+  /// caps the encoded batch size; shm_slab_count is the in-flight budget
+  /// (the HWM analogue — 0 = follow high_water_mark).
+  std::string shm_name;
+  std::size_t shm_slab_bytes = 4u << 20;
+  std::size_t shm_slab_count = 0;
 };
 
 /// Aggregated run statistics.

@@ -38,6 +38,14 @@ class MessageSink {
 
   /// Flush and close. Further sends fail. Idempotent.
   virtual void close() = 0;
+
+  /// Cumulative count of *byte-moving* syscalls this sink has issued on the
+  /// data path (send/sendmsg/writev class). Futex parking and other control
+  /// syscalls are excluded on every transport, so the number audits exactly
+  /// one claim: how many kernel crossings each batch's bytes cost. 0 for
+  /// transports whose data plane never enters the kernel (in-process,
+  /// shared memory).
+  virtual std::uint64_t data_syscalls() const { return 0; }
 };
 
 /// Blocking message consumer endpoint (PULL side).

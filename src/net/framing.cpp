@@ -5,7 +5,7 @@
 
 namespace emlio::net {
 
-void send_frame(TcpStream& stream, std::span<const std::uint8_t> payload) {
+std::size_t send_frame(TcpStream& stream, std::span<const std::uint8_t> payload) {
   if (payload.size() > kMaxFrameBytes) {
     throw std::runtime_error("framing: payload exceeds 1 GiB cap");
   }
@@ -14,8 +14,7 @@ void send_frame(TcpStream& stream, std::span<const std::uint8_t> payload) {
   auto length = static_cast<std::uint32_t>(payload.size());
   std::memcpy(header, &magic, 4);
   std::memcpy(header + 4, &length, 4);
-  stream.send_all(std::span<const std::uint8_t>(header, 8));
-  stream.send_all(payload);
+  return stream.sendv_all(std::span<const std::uint8_t>(header, 8), payload);
 }
 
 std::optional<Payload> recv_frame(TcpStream& stream, BufferPool* pool) {

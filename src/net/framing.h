@@ -19,10 +19,13 @@ namespace emlio::net {
 inline constexpr std::uint32_t kFrameMagic = 0x454D4C31;  // "EML1"
 inline constexpr std::uint32_t kMaxFrameBytes = 1u << 30;  // 1 GiB sanity cap
 
-/// Write one framed message. Throws on socket errors. (A Payload converts to
-/// the span implicitly; the bytes go straight from the payload buffer to the
-/// kernel.)
-void send_frame(TcpStream& stream, std::span<const std::uint8_t> payload);
+/// Write one framed message as a single scatter-gather syscall: header and
+/// payload go out as two iovecs of one sendmsg — no join copy, no separate
+/// header write. (A Payload converts to the span implicitly; the bytes go
+/// straight from the payload buffer to the kernel.) Returns the number of
+/// byte-moving syscalls issued — 1 per frame unless the kernel took it in
+/// pieces — for the transport syscall audit. Throws on socket errors.
+std::size_t send_frame(TcpStream& stream, std::span<const std::uint8_t> payload);
 
 /// Read one framed message into a ref-counted Payload; empty optional on
 /// clean EOF. This is the data plane's single receive-side copy (kernel →

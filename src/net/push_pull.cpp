@@ -45,7 +45,7 @@ void PushSocket::sender_loop(Stream& stream) {
     auto msg = stream.queue->pop();
     if (!msg) return;  // closed and drained
     try {
-      send_frame(stream.tcp, *msg);
+      syscalls_.fetch_add(send_frame(stream.tcp, *msg), std::memory_order_relaxed);
     } catch (const std::exception& e) {
       log::error("push sender: ", e.what());
       stream.queue->close();
@@ -54,12 +54,14 @@ void PushSocket::sender_loop(Stream& stream) {
   }
 }
 
-PullSocket::PullSocket(std::uint16_t port, std::size_t queue_capacity)
+PullSocket::PullSocket(std::uint16_t port, std::size_t queue_capacity,
+                       std::size_t expected_senders)
     : listener_(port),
       // Pool a few more buffers than the queue holds so readers mid-recv and
       // consumers mid-decode don't force fresh allocations.
       pool_(BufferPool::create(queue_capacity + 8)),
-      queue_(queue_capacity) {
+      queue_(queue_capacity),
+      expected_senders_(expected_senders) {
   acceptor_ = std::thread([this] { accept_loop(); });
 }
 
@@ -100,13 +102,22 @@ void PullSocket::reader_loop(TcpStream stream) {
   try {
     for (;;) {
       auto frame = recv_frame(stream, pool_.get());
-      if (!frame) return;  // peer finished
+      if (!frame) break;  // peer finished
       if (!queue_.push(std::move(*frame))) return;  // socket closed locally
     }
   } catch (const std::exception& e) {
     if (!closed_.load(std::memory_order_acquire)) {
       log::error("pull reader: ", e.what());
     }
+  }
+  // With a known sender population, the last connection to finish (clean EOF
+  // or error alike — a dead sender must not wedge the stream) ends the
+  // stream: close() on the queue drains what is buffered, then recv()
+  // returns empty. Pending items survive — BoundedQueue close is
+  // drain-then-end, not drop.
+  if (expected_senders_ != 0 &&
+      finished_senders_.fetch_add(1, std::memory_order_acq_rel) + 1 == expected_senders_) {
+    queue_.close();
   }
 }
 

@@ -45,6 +45,13 @@ class PushSocket final : public MessageSink {
   /// Drain queues, flush streams, close connections, join sender threads.
   void close() override;
 
+  /// Byte-moving syscalls issued so far: one sendmsg per framed message
+  /// (header + payload as two iovecs), more only when the kernel takes a
+  /// frame in pieces. The "1 writev per batch" audit of the TCP lane.
+  std::uint64_t data_syscalls() const override {
+    return syscalls_.load(std::memory_order_relaxed);
+  }
+
   std::size_t messages_sent() const noexcept { return sent_.load(std::memory_order_relaxed); }
   std::size_t num_streams() const noexcept { return streams_.size(); }
 
@@ -59,6 +66,7 @@ class PushSocket final : public MessageSink {
   std::vector<Stream> streams_;
   std::atomic<std::size_t> next_stream_{0};
   std::atomic<std::size_t> sent_{0};
+  std::atomic<std::uint64_t> syscalls_{0};
   std::atomic<bool> closed_{false};
 };
 
@@ -69,8 +77,16 @@ class PushSocket final : public MessageSink {
 class PullSocket final : public MessageSource {
  public:
   /// Bind on loopback:port (0 = ephemeral). `queue_capacity` is the shared
-  /// in-memory queue depth (the receiver's HWM).
-  explicit PullSocket(std::uint16_t port, std::size_t queue_capacity = 64);
+  /// in-memory queue depth (the receiver's HWM). `expected_senders`, when
+  /// non-zero, is the number of inbound TCP connections after whose clean
+  /// EOF the stream ends: recv() drains whatever is queued, then returns
+  /// empty — giving TCP the same "sender close ends the stream" semantics
+  /// the in-process and shm transports have natively. 0 (the default)
+  /// preserves the original behavior: the socket accepts connections
+  /// forever and only a local close() ends the stream. Counts connections,
+  /// not PushSockets — a PUSH with N streams contributes N.
+  explicit PullSocket(std::uint16_t port, std::size_t queue_capacity = 64,
+                      std::size_t expected_senders = 0);
   ~PullSocket() override;
 
   /// Hands out the reader's pooled receive buffer by move; the buffer
@@ -97,6 +113,8 @@ class PullSocket final : public MessageSource {
   TcpListener listener_;
   std::shared_ptr<BufferPool> pool_;
   BoundedQueue<Payload> queue_;
+  std::size_t expected_senders_;
+  std::atomic<std::size_t> finished_senders_{0};
   std::thread acceptor_;
   std::mutex readers_mutex_;
   std::vector<std::thread> readers_;

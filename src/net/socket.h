@@ -49,6 +49,14 @@ class TcpStream {
   /// Write the entire span; throws on error/EOF.
   void send_all(std::span<const std::uint8_t> bytes);
 
+  /// Write two spans (frame header + payload) as ONE scatter-gather message
+  /// — sendmsg with two iovecs, no join copy — so a full frame normally
+  /// costs a single kernel crossing. Advances the iovecs across partial
+  /// writes; throws on error. Returns the number of byte-moving syscalls
+  /// issued (1 unless the kernel took the frame in pieces), which feeds the
+  /// transport syscall audit (MessageSink::data_syscalls).
+  std::size_t sendv_all(std::span<const std::uint8_t> head, std::span<const std::uint8_t> body);
+
   /// Read exactly bytes.size() bytes. Returns false on clean EOF at a
   /// message boundary (0 bytes read so far); throws on mid-read EOF/error.
   bool recv_all(std::span<std::uint8_t> bytes);

@@ -87,6 +87,61 @@ TEST_F(CoreIntegrationTest, TcpTransportDeliversSameGuarantees) {
   service.stop();
 }
 
+TEST_F(CoreIntegrationTest, ShmTransportDeliversSameGuarantees) {
+  // The shared-memory lane slots in behind the same MessageSink/Source
+  // interfaces, so the full stack must deliver the identical exactly-once
+  // guarantee with zero engine changes — and zero data-path syscalls.
+  auto cfg = base_config();
+  cfg.transport = Transport::kShm;
+  EmlioService service(cfg);
+  service.start();
+  auto result = run_epoch(service, 0);
+  EXPECT_TRUE(result.clean(spec_.num_samples)) << "dups=" << result.duplicate_samples
+                                               << " corrupt=" << result.corrupt_samples;
+  service.stop();
+  auto stats = service.stats();
+  EXPECT_EQ(stats.daemon.samples_sent, 48u);
+  EXPECT_EQ(stats.receiver.samples_received, 48u);
+  EXPECT_EQ(stats.daemon.wire_syscalls, 0u);  // the zero-syscall lane audit
+}
+
+TEST_F(CoreIntegrationTest, ShmStreamIsByteIdenticalToInProcess) {
+  // Same seed + single-threaded deterministic engines: the decoded batch
+  // stream over shm must be byte-for-byte the stream the in-process channel
+  // delivers. Flattens every batch (ids + labels + sample bytes) into one
+  // buffer per transport and compares.
+  auto capture = [&](Transport transport) {
+    auto cfg = base_config();
+    cfg.transport = transport;
+    cfg.threads_per_node = 1;  // one worker → deterministic batch order
+    cfg.pipelined = false;     // serial engines: no pool reordering anywhere
+    EmlioService service(cfg);
+    service.start();
+    std::vector<std::uint8_t> stream;
+    auto put_u64 = [&stream](std::uint64_t v) {
+      for (int b = 0; b < 8; ++b) stream.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+    };
+    while (auto batch = service.next_batch()) {
+      put_u64(batch->epoch);
+      put_u64(batch->batch_id);
+      put_u64(batch->last ? 1 : 0);
+      for (const auto& s : batch->samples) {
+        put_u64(s.index);
+        put_u64(static_cast<std::uint64_t>(s.label));
+        put_u64(s.bytes.size());
+        stream.insert(stream.end(), s.bytes.data(), s.bytes.data() + s.bytes.size());
+      }
+      if (batch->last) break;
+    }
+    service.stop();
+    return stream;
+  };
+  auto in_process = capture(Transport::kInProcess);
+  auto shm = capture(Transport::kShm);
+  ASSERT_GT(in_process.size(), 48u * 900u);  // sanity: carried the payloads
+  EXPECT_EQ(shm, in_process);
+}
+
 TEST_F(CoreIntegrationTest, MultiEpochEachCovered) {
   auto cfg = base_config();
   cfg.epochs = 3;
@@ -1065,7 +1120,14 @@ INSTANTIATE_TEST_SUITE_P(
                       // Governed pools on both ends (adaptive sizing live
                       // during the epoch must not change delivery):
                       E2eParams{3, 8, 2, 1, Transport::kInProcess, true, 2, /*adaptive=*/true},
-                      E2eParams{4, 7, 2, 2, Transport::kTcp, true, 1, /*adaptive=*/true}));
+                      E2eParams{4, 7, 2, 2, Transport::kTcp, true, 1, /*adaptive=*/true},
+                      // Shared-memory lane: staged, serial, pooled decode,
+                      // and fully governed — identical guarantees expected.
+                      E2eParams{2, 8, 2, 1, Transport::kShm},
+                      E2eParams{3, 5, 3, 1, Transport::kShm},
+                      E2eParams{4, 7, 3, 1, Transport::kShm, /*pipelined=*/false},
+                      E2eParams{4, 7, 2, 1, Transport::kShm, true, /*decode=*/2},
+                      E2eParams{3, 8, 2, 1, Transport::kShm, true, 2, /*adaptive=*/true}));
 
 }  // namespace
 }  // namespace emlio::core

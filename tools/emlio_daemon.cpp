@@ -1,14 +1,24 @@
 // emlio_daemon — standalone EMLIO storage daemon: serves the TFRecord
-// shards in a directory to one compute node over TCP. Pair with
-// emlio_receive in another process/terminal for a real two-process
-// deployment of the paper's architecture.
+// shards in a directory to one compute node over TCP or, for same-host
+// deployments, over the shared-memory transport. Pair with emlio_receive in
+// another process/terminal for a real two-process deployment of the paper's
+// architecture.
 //
 //   emlio_receive --port 5555 &            # start the compute side first
 //   emlio_daemon --data DIR --connect localhost:5555
+//       [--transport tcp|shm] [--shm-name emlio0] [--shm-slab-mb 4]
 //       [--batch 128] [--epochs 1] [--threads 2] [--streams 2] [--hwm 16]
 //       [--pool 0] [--prefetch 16] [--serial]
 //       [--adaptive-pool] [--adaptive-min 1] [--adaptive-max 0]
 //       [--cache-mb 0] [--cache-policy clock|lru] [--stats-json PATH]
+//
+// --transport shm replaces the TCP connection with a shared-memory segment
+// (created by this daemon, unlinked at exit; --connect is then unused).
+// Start order flips versus TCP: the daemon creates the segment, and
+// emlio_receive --transport shm attach-waits for it — so either side may be
+// started first. --shm-name must match on both sides; --shm-slab-mb caps
+// the encoded batch size and --hwm doubles as the slab count (the in-flight
+// budget).
 //
 // --pool sizes the shared read+encode thread pool (0 = auto), --prefetch the
 // per-sink encoded-batch queue (the HWM of the storage-side pipeline);
@@ -30,11 +40,14 @@
 #include "core/planner.h"
 #include "json/json.h"
 #include "net/push_pull.h"
+#include "net/shm_channel.h"
 
 using namespace emlio;
 
 int main(int argc, char** argv) {
   std::string data, connect_to = "127.0.0.1:5555";
+  std::string transport = "tcp", shm_name = "emlio0";
+  std::size_t shm_slab_mb = 4;
   std::string cache_policy = "clock", stats_json;
   std::size_t batch = 128, threads = 2, streams = 2, hwm = 16;
   std::size_t pool = 0, prefetch = 16, cache_mb = 0;
@@ -49,6 +62,9 @@ int main(int argc, char** argv) {
     };
     if (!std::strcmp(argv[i], "--data")) data = next();
     else if (!std::strcmp(argv[i], "--connect")) connect_to = next();
+    else if (!std::strcmp(argv[i], "--transport")) transport = next();
+    else if (!std::strcmp(argv[i], "--shm-name")) shm_name = next();
+    else if (!std::strcmp(argv[i], "--shm-slab-mb")) shm_slab_mb = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--batch")) batch = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--epochs")) epochs = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--threads")) threads = std::strtoul(next(), nullptr, 10);
@@ -66,6 +82,7 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--stats-json")) stats_json = next();
     else {
       std::fprintf(stderr, "usage: emlio_daemon --data DIR --connect HOST:PORT "
+                           "[--transport tcp|shm] [--shm-name NAME] [--shm-slab-mb MB] "
                            "[--batch B] [--epochs E] [--threads T] [--streams S] [--hwm H] "
                            "[--pool N] [--prefetch D] [--serial] "
                            "[--adaptive-pool] [--adaptive-min N] [--adaptive-max N] "
@@ -90,13 +107,23 @@ int main(int argc, char** argv) {
     adaptive = false;
   }
   if (adaptive_min == 0) adaptive_min = 1;  // same clamp the library applies
-  auto colon = connect_to.find(':');
-  if (colon == std::string::npos) {
-    std::fprintf(stderr, "emlio_daemon: --connect must be HOST:PORT\n");
+  const bool use_shm = transport == "shm";
+  if (!use_shm && transport != "tcp") {
+    std::fprintf(stderr, "emlio_daemon: unknown --transport '%s' (expected tcp or shm)\n",
+                 transport.c_str());
     return 2;
   }
-  std::string host = connect_to.substr(0, colon);
-  auto port = static_cast<std::uint16_t>(std::strtoul(connect_to.c_str() + colon + 1, nullptr, 10));
+  std::string host;
+  std::uint16_t port = 0;
+  if (!use_shm) {
+    auto colon = connect_to.find(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "emlio_daemon: --connect must be HOST:PORT\n");
+      return 2;
+    }
+    host = connect_to.substr(0, colon);
+    port = static_cast<std::uint16_t>(std::strtoul(connect_to.c_str() + colon + 1, nullptr, 10));
+  }
 
   try {
     auto indexes = tfrecord::load_all_indexes(data);
@@ -112,16 +139,26 @@ int main(int argc, char** argv) {
     core::Planner planner(indexes, pc);
     std::printf("emlio_daemon: %zu shards, %llu samples, B=%zu E=%u T=%zu -> %s\n",
                 indexes.size(), static_cast<unsigned long long>(planner.dataset_size()), batch,
-                epochs, threads, connect_to.c_str());
+                epochs, threads, use_shm ? ("shm:" + shm_name).c_str() : connect_to.c_str());
 
-    net::PushPullOptions opts;
-    opts.high_water_mark = hwm;
-    opts.num_streams = streams;
-    auto push = std::make_shared<net::PushSocket>(host, port, opts);
+    std::shared_ptr<net::MessageSink> sink;
+    if (use_shm) {
+      net::ShmOptions so;
+      so.slab_bytes = shm_slab_mb << 20;
+      so.slab_count = hwm;  // the slab pool IS the in-flight budget
+      sink = std::make_shared<net::ShmMessageSink>(shm_name, so);
+      std::printf("emlio_daemon: created shm segment %s (%zu slabs x %zu MB)\n",
+                  shm_name.c_str(), hwm, shm_slab_mb);
+    } else {
+      net::PushPullOptions opts;
+      opts.high_water_mark = hwm;
+      opts.num_streams = streams;
+      sink = std::make_shared<net::PushSocket>(host, port, opts);
+    }
 
     std::vector<tfrecord::ShardReader> readers;
     for (const auto& idx : indexes) readers.emplace_back(idx);
-    std::map<std::uint32_t, std::shared_ptr<net::MessageSink>> sinks{{0u, push}};
+    std::map<std::uint32_t, std::shared_ptr<net::MessageSink>> sinks{{0u, sink}};
     core::DaemonConfig dc;
     dc.daemon_id = "daemon0";
     dc.pipelined = !serial;
@@ -134,12 +171,21 @@ int main(int argc, char** argv) {
     dc.cache_policy = *policy;
     core::Daemon daemon(dc, std::move(readers), sinks);
     bool clean = daemon.serve(planner, /*num_nodes=*/1);
-    push->close();
+    sink->close();
     auto stats = daemon.stats();
     std::printf("emlio_daemon: done — %llu batches, %llu samples, %.1f MB serialized\n",
                 static_cast<unsigned long long>(stats.batches_sent),
                 static_cast<unsigned long long>(stats.samples_sent),
                 static_cast<double>(stats.bytes_sent) / 1e6);
+    // The transport syscall audit: shm must report 0 data-path syscalls;
+    // TCP reports ~1 scatter-gather sendmsg per framed message.
+    std::printf("emlio_daemon: wire — %llu data syscalls, %.2f per batch (%s lane)\n",
+                static_cast<unsigned long long>(stats.wire_syscalls),
+                stats.batches_sent
+                    ? static_cast<double>(stats.wire_syscalls) /
+                          static_cast<double>(stats.batches_sent)
+                    : 0.0,
+                use_shm ? "shm" : "tcp");
     std::printf("emlio_daemon: pipeline — %llu enqueue stalls (encode waited on wire), "
                 "%llu sender stalls (wire waited on disk), peak queue depth %llu\n",
                 static_cast<unsigned long long>(stats.enqueue_stalls),

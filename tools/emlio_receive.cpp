@@ -3,9 +3,15 @@
 // mock training loop, and reports per-epoch coverage/integrity.
 //
 //   emlio_receive --port 5555 [--senders 1] [--epochs 1] [--expected N]
+//       [--transport tcp|shm] [--shm-name emlio0] [--shm-wait-ms 10000]
 //       [--decode-threads N] [--serial]
 //       [--adaptive-pool] [--adaptive-min 1] [--adaptive-max 0]
 //       [--stats-json PATH]
+//
+// --transport shm attaches to the shared-memory segment a same-host
+// emlio_daemon --transport shm creates (names must match); the receiver
+// attach-waits up to --shm-wait-ms, so it may be started before the daemon.
+// shm carries exactly one sender — --senders and --port are then unused.
 //
 // --decode-threads sizes the receiver's decode pool (0 = the legacy serial
 // receive-decode thread); --serial forces the serial engine regardless of
@@ -23,12 +29,15 @@
 #include "core/receiver.h"
 #include "json/json.h"
 #include "net/push_pull.h"
+#include "net/shm_channel.h"
 #include "train/trainer.h"
 
 using namespace emlio;
 
 int main(int argc, char** argv) {
   std::uint16_t port = 5555;
+  std::string transport = "tcp", shm_name = "emlio0";
+  std::size_t shm_wait_ms = 10000;
   std::size_t senders = 1;
   std::uint32_t epochs = 1;
   std::uint64_t expected = 0;
@@ -42,6 +51,9 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (!std::strcmp(argv[i], "--port")) port = static_cast<std::uint16_t>(std::strtoul(next(), nullptr, 10));
+    else if (!std::strcmp(argv[i], "--transport")) transport = next();
+    else if (!std::strcmp(argv[i], "--shm-name")) shm_name = next();
+    else if (!std::strcmp(argv[i], "--shm-wait-ms")) shm_wait_ms = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--senders")) senders = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--epochs")) epochs = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--expected")) expected = std::strtoull(next(), nullptr, 10);
@@ -54,6 +66,7 @@ int main(int argc, char** argv) {
     else {
       std::fprintf(stderr,
                    "usage: emlio_receive --port P [--senders N] [--epochs E] [--expected N] "
+                   "[--transport tcp|shm] [--shm-name NAME] [--shm-wait-ms MS] "
                    "[--decode-threads N] [--serial] "
                    "[--adaptive-pool] [--adaptive-min N] [--adaptive-max N] "
                    "[--stats-json PATH]\n");
@@ -67,27 +80,52 @@ int main(int argc, char** argv) {
   if (adaptive_min == 0) adaptive_min = 1;  // same clamp the library applies
   if (adaptive && decode_threads == 0) decode_threads = adaptive_min;
 
-  try {
-    auto pull = std::make_unique<net::PullSocket>(port, /*queue_capacity=*/64);
-    std::printf("emlio_receive: listening on 127.0.0.1:%u (%zu sender(s), %u epoch(s), "
-                "decode %s)\n",
-                pull->port(), senders, epochs,
-                decode_threads ? (std::to_string(decode_threads) + " pooled threads").c_str()
-                               : "serial");
+  const bool use_shm = transport == "shm";
+  if (!use_shm && transport != "tcp") {
+    std::fprintf(stderr, "emlio_receive: unknown --transport '%s' (expected tcp or shm)\n",
+                 transport.c_str());
+    return 2;
+  }
+  if (use_shm && senders != 1) {
+    std::fprintf(stderr, "emlio_receive: shm transport carries exactly one sender\n");
+    return 2;
+  }
 
-    struct PullSource final : net::MessageSource {
-      explicit PullSource(net::PullSocket* s) : socket(s) {}
-      std::optional<Payload> recv() override { return socket->recv(); }
-      void close() override { socket->close(); }
-      net::PullSocket* socket;
-    };
+  try {
+    std::unique_ptr<net::PullSocket> pull;
+    std::unique_ptr<net::MessageSource> source;
+    if (use_shm) {
+      // The daemon creates the segment; wait for it so start order does not
+      // matter (the shm analogue of TCP's receiver-first convention).
+      source = net::ShmMessageSource::attach_wait(shm_name,
+                                                  std::chrono::milliseconds(shm_wait_ms));
+      std::printf("emlio_receive: attached to shm segment %s (%u epoch(s), decode %s)\n",
+                  shm_name.c_str(), epochs,
+                  decode_threads ? (std::to_string(decode_threads) + " pooled threads").c_str()
+                                 : "serial");
+    } else {
+      pull = std::make_unique<net::PullSocket>(port, /*queue_capacity=*/64);
+      std::printf("emlio_receive: listening on 127.0.0.1:%u (%zu sender(s), %u epoch(s), "
+                  "decode %s)\n",
+                  pull->port(), senders, epochs,
+                  decode_threads ? (std::to_string(decode_threads) + " pooled threads").c_str()
+                                 : "serial");
+
+      struct PullSource final : net::MessageSource {
+        explicit PullSource(net::PullSocket* s) : socket(s) {}
+        std::optional<Payload> recv() override { return socket->recv(); }
+        void close() override { socket->close(); }
+        net::PullSocket* socket;
+      };
+      source = std::make_unique<PullSource>(pull.get());
+    }
     core::ReceiverConfig rc;
     rc.num_senders = senders;
     rc.decode_threads = decode_threads;
     rc.adaptive_pool = adaptive;
     rc.adaptive_min_threads = adaptive_min;
     rc.adaptive_max_threads = adaptive_max;
-    core::Receiver receiver(rc, std::make_unique<PullSource>(pull.get()));
+    core::Receiver receiver(rc, std::move(source));
 
     train::TrainerOptions topt;
     topt.expected_samples_per_epoch = expected;
@@ -109,8 +147,8 @@ int main(int argc, char** argv) {
       }
       trainer.train_step(*batch);
     }
-    receiver.close();
-    pull->close();
+    receiver.close();  // closes its source (shm or the pull forwarder)
+    if (pull) pull->close();
     auto stats = receiver.stats();
     std::printf("emlio_receive: done — %llu batches, %.1f MB, %llu decode errors\n",
                 static_cast<unsigned long long>(stats.batches_received),

@@ -1,0 +1,290 @@
+// QoS isolation microbench for the shared lane layer: weighted-fair encode
+// admission plus per-lane windows must keep a high-priority destination fast
+// while a low-priority sibling is deliberately stalled.
+//
+// Two phases:
+//
+//   1. Delivery contract (always runs): the same 2-node plan is served under
+//      radically different QoS splits — weight {4,1}, weight {1,4}, and a
+//      rate-capped low lane. Each node's delivered stream must be
+//      byte-identical and identically ordered across every configuration:
+//      weights move WHEN a lane is served, never WHAT it carries. Exit 1 on
+//      any divergence.
+//
+//   2. Isolation (needs ≥4 cores): a weight-4 node first runs ISOLATED
+//      (baseline: the encode pool works for it alone), then CONTENDED with a
+//      weight-1 sibling whose consumer is deliberately parked until the fast
+//      node finishes. DWRR admission caps the stalled lane at its in-flight
+//      window, so the weight-4 node must complete its full stream in ≥80 %
+//      of its isolated throughput. The pre-lane engine fails this: pool
+//      threads pile up against the stalled lane's full queue and the fast
+//      node starves. FAILS (exit 1) below the 80 % floor.
+//
+// Below 4 cores phase 2 is meaningless (the pool, both senders and both
+// consumers share a core or two), so the bench prints an explicit SKIP,
+// records a skipped JSON row and exits 0 — same protocol as the other micro
+// benches. EMLIO_MICRO_QOS_FORCE=1 runs it anyway (plumbing smoke on small
+// hosts); the ratio assertion still only applies on ≥4 cores.
+//
+// Appends one JSON row per phase/engine (or the skip row) to
+// emlio_bench_results.jsonl.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/daemon.h"
+#include "core/planner.h"
+#include "core/receiver.h"
+#include "msgpack/batch_codec.h"
+#include "net/sim_channel.h"
+#include "workload/materialize.h"
+
+using namespace emlio;
+
+namespace {
+
+struct QosRun {
+  double a_seconds = 0.0;  ///< t0 → node A's last data sample delivered
+  core::DaemonStats stats;
+  std::vector<msgpack::WireBatch> streams[2];  ///< full delivery per node
+};
+
+/// Serve `epochs` full-dataset epochs through the pipelined engine with CRC
+/// on (encode is the narrow stage over a fast wire). Node A (id 0) always
+/// drains at full speed and is timed to its last data sample. When
+/// `with_b`, node B (id 1) exists; with `stall_b` its consumer is parked
+/// until A finishes — receiver buffers, wire HWM and B's sink lane all fill
+/// and B's admission window saturates, the deliberately stalled
+/// low-priority tenant — then it drains fast so the run can finish.
+QosRun run_qos(const std::vector<tfrecord::ShardIndex>& indexes, const core::Planner& planner,
+               std::uint32_t epochs, std::uint64_t samples_per_epoch, bool with_b,
+               LaneQos qos_a, LaneQos qos_b, bool stall_b) {
+  net::SimLinkConfig link;
+  link.rtt_ms = 0.0;
+  link.bandwidth_bytes_per_sec = 5e9;  // fast wire: encode is the narrow stage
+  const int nodes = with_b ? 2 : 1;
+  std::shared_ptr<net::MessageSink> sinks[2];
+  std::unique_ptr<core::Receiver> recv[2];
+  core::ReceiverConfig rc;
+  rc.num_senders = 1;
+  rc.queue_capacity = 16;
+  for (int n = 0; n < nodes; ++n) {
+    auto ch = net::make_sim_channel(link);
+    sinks[n] = std::shared_ptr<net::MessageSink>(std::move(ch.sink));
+    recv[n] = std::make_unique<core::Receiver>(rc, std::move(ch.source));
+  }
+
+  std::vector<tfrecord::ShardReader> readers;
+  for (const auto& idx : indexes) readers.emplace_back(idx);
+  core::DaemonConfig dc;
+  dc.daemon_id = with_b ? "contended" : "isolated";
+  dc.verify_crc = true;  // real encode-side CPU cost per record
+  dc.pipelined = true;
+  dc.pool_threads = 4;
+  dc.prefetch_depth = 8;
+  dc.node_qos[0] = qos_a;
+  if (with_b) dc.node_qos[1] = qos_b;
+  std::map<std::uint32_t, std::shared_ptr<net::MessageSink>> dsinks{{0u, sinks[0]}};
+  if (with_b) dsinks[1] = sinks[1];
+  core::Daemon daemon(dc, std::move(readers), dsinks);
+
+  QosRun r;
+  const std::uint64_t a_expected = static_cast<std::uint64_t>(epochs) * samples_per_epoch;
+  std::atomic<bool> a_done{false};
+  auto t0 = std::chrono::steady_clock::now();
+  std::thread serve([&] {
+    for (std::uint32_t e = 0; e < epochs; ++e) {
+      if (!daemon.serve_epoch(planner.plan_epoch(e, nodes))) break;
+    }
+    for (int n = 0; n < nodes; ++n) sinks[n]->close();
+  });
+  std::thread a_drain([&] {
+    std::uint64_t got = 0;
+    while (auto b = recv[0]->next()) {
+      if (!b->last) got += b->samples.size();
+      if (got >= a_expected && !a_done.load(std::memory_order_relaxed)) {
+        r.a_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        a_done.store(true, std::memory_order_relaxed);
+      }
+      r.streams[0].push_back(std::move(*b));
+    }
+  });
+  std::thread b_drain([&] {
+    if (!with_b) return;
+    if (stall_b) {
+      // Full park: consume nothing until A finishes. B's receiver queue,
+      // the wire HWM and B's sink lane all fill; its admission window
+      // saturates and the encode pool works for A alone.
+      while (!a_done.load(std::memory_order_relaxed))
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    while (auto b = recv[1]->next()) r.streams[1].push_back(std::move(*b));
+  });
+  serve.join();
+  a_drain.join();
+  b_drain.join();
+  r.stats = daemon.stats();
+  return r;
+}
+
+// ------------------------------------------------- phase 1: delivery contract
+
+bool run_contract_phase() {
+  namespace fs = std::filesystem;
+  auto dir = fs::temp_directory_path() / "emlio_micro_qos_contract";
+  fs::remove_all(dir);
+  auto spec = workload::presets::tiny(192, 8 * 1024);
+  workload::materialize_tfrecord(spec, dir.string(), /*num_shards=*/3);
+  auto indexes = tfrecord::load_all_indexes(dir.string());
+  core::PlannerConfig pc;
+  pc.batch_size = 8;
+  pc.epochs = 2;
+  pc.threads_per_node = 1;
+  pc.full_dataset_per_node = true;
+  core::Planner planner(indexes, pc);
+
+  auto run = [&](LaneQos qa, LaneQos qb) {
+    return run_qos(indexes, planner, pc.epochs, spec.num_samples, /*with_b=*/true, qa, qb,
+                   /*stall_b=*/false);
+  };
+  auto a = run(LaneQos{LaneClass::kInteractive, 4, 0}, LaneQos{LaneClass::kBulk, 1, 0});
+  auto b = run(LaneQos{LaneClass::kBulk, 1, 0}, LaneQos{LaneClass::kInteractive, 4, 0});
+  auto c = run(LaneQos{LaneClass::kInteractive, 4, 0},
+               LaneQos{LaneClass::kBulk, 1, 2000});  // rate-capped low lane
+  fs::remove_all(dir);
+  for (int n = 0; n < 2; ++n) {
+    if (a.streams[n] != b.streams[n] || a.streams[n] != c.streams[n]) {
+      std::fprintf(stderr,
+                   "micro_qos: DELIVERY CONTRACT VIOLATED — node %d stream differs across "
+                   "QoS configurations (%zu vs %zu vs %zu batches)\n",
+                   n, a.streams[n].size(), b.streams[n].size(), c.streams[n].size());
+      return false;
+    }
+  }
+  std::printf("micro_qos: contract — per-lane streams byte-identical and ordered across "
+              "weight splits 4:1, 1:4 and a rate-capped lane (%zu + %zu batches incl. "
+              "epoch markers)\n",
+              a.streams[0].size(), a.streams[1].size());
+  return true;
+}
+
+// --------------------------------------------------------------- JSONL rows
+
+json::Value qos_row(const char* engine, const QosRun& r, double ratio) {
+  json::Object row;
+  row["bench"] = "micro_qos";
+  row["phase"] = std::string("isolation");
+  row["engine"] = std::string(engine);
+  row["cores"] = static_cast<std::int64_t>(std::thread::hardware_concurrency());
+  row["a_seconds"] = r.a_seconds;
+  row["throughput_vs_isolated"] = ratio;
+  row["batches_sent"] = static_cast<std::int64_t>(r.stats.batches_sent);
+  row["enqueue_stalls"] = static_cast<std::int64_t>(r.stats.enqueue_stalls);
+  row["sender_stalls"] = static_cast<std::int64_t>(r.stats.sender_stalls);
+  json::Array lanes;
+  for (const auto& lane : r.stats.lanes) {
+    json::Object l;
+    l["name"] = lane.name;
+    l["weight"] = static_cast<std::int64_t>(lane.weight);
+    l["delivered_items"] = static_cast<std::int64_t>(lane.delivered_items);
+    l["enqueue_stalls"] = static_cast<std::int64_t>(lane.enqueue_stalls);
+    lanes.push_back(json::Value(std::move(l)));
+  }
+  row["lanes"] = std::move(lanes);
+  return json::Value(std::move(row));
+}
+
+}  // namespace
+
+int main() {
+  namespace fs = std::filesystem;
+
+  // Phase 1 needs no parallelism to be meaningful — it always runs.
+  if (!run_contract_phase()) return 1;
+
+  unsigned cores = std::thread::hardware_concurrency();
+  const bool force = std::getenv("EMLIO_MICRO_QOS_FORCE") != nullptr;
+  const bool assert_ratio = cores == 0 || cores >= 4;
+  if (!force && cores != 0 && cores < 4) {
+    std::printf("micro_qos: SKIP — %u hardware thread(s); the encode pool, both senders and "
+                "both consumers would share cores, so isolated-vs-contended is meaningless. "
+                "Run on a >=4-core host for the throughput assertion.\n",
+                cores);
+    json::Object row;
+    row["bench"] = "micro_qos";
+    row["skipped"] = true;
+    row["reason"] = "fewer than 4 hardware threads: isolated-vs-contended A/B meaningless";
+    row["cores"] = static_cast<std::int64_t>(cores);
+    bench::append_json_line(json::Value(std::move(row)));
+    return 0;
+  }
+
+  // ------------------------------------------------------ phase 2: isolation
+  // CRC-on encode of 64 KB samples over a fast wire: the encode pool is the
+  // narrow stage, so admission share is what decides each node's throughput.
+  // One epoch only: serve_epoch is a barrier, so with multiple epochs the
+  // fast node would idle at every boundary waiting for the stalled node's
+  // tail — serialization the isolation claim is not about.
+  auto dir = fs::temp_directory_path() / "emlio_micro_qos";
+  fs::remove_all(dir);
+  auto spec = workload::presets::tiny(3072, 64 * 1024);
+  workload::materialize_tfrecord(spec, dir.string(), /*num_shards=*/6);
+  auto indexes = tfrecord::load_all_indexes(dir.string());
+  core::PlannerConfig pc;
+  pc.batch_size = 16;
+  pc.epochs = 1;
+  pc.threads_per_node = 1;
+  pc.full_dataset_per_node = true;  // node A's stream is identical in both runs
+  core::Planner planner(indexes, pc);
+  // Warm the page cache so both runs read from memory.
+  for (const auto& idx : indexes) tfrecord::ShardReader(idx).verify_all();
+
+  const LaneQos fast{LaneClass::kInteractive, 4, 0};
+  const LaneQos slow{LaneClass::kBulk, 1, 0};
+  std::printf("micro_qos: isolation phase — %zu shards, %llu samples x %u epochs, B=%zu, "
+              "CRC on, pool=4, %u cores\n",
+              indexes.size(), static_cast<unsigned long long>(planner.dataset_size()),
+              pc.epochs, pc.batch_size, cores);
+
+  auto isolated = run_qos(indexes, planner, pc.epochs, spec.num_samples, /*with_b=*/false,
+                          fast, slow, /*stall_b=*/false);
+  auto contended = run_qos(indexes, planner, pc.epochs, spec.num_samples, /*with_b=*/true,
+                           fast, slow, /*stall_b=*/true);
+  fs::remove_all(dir);
+
+  // Contract inside the measured phase too: A's stream must not change when
+  // a stalled sibling appears.
+  if (isolated.streams[0] != contended.streams[0]) {
+    std::fprintf(stderr, "micro_qos: FAIL — node A's stream changed between isolated and "
+                         "contended runs\n");
+    return 1;
+  }
+  double ratio = contended.a_seconds > 0.0 ? isolated.a_seconds / contended.a_seconds : 0.0;
+  std::printf("  isolated  : %.3f s to node A's last sample\n", isolated.a_seconds);
+  std::printf("  contended : %.3f s with a stalled weight-1 sibling  (throughput %.0f%% of "
+              "isolated)\n",
+              contended.a_seconds, ratio * 100.0);
+  for (const auto& lane : contended.stats.lanes) {
+    std::printf("    lane %s: weight %u, %llu delivered, %llu enqueue stalls\n",
+                lane.name.c_str(), lane.weight,
+                static_cast<unsigned long long>(lane.delivered_items),
+                static_cast<unsigned long long>(lane.enqueue_stalls));
+  }
+  bench::append_json_line(qos_row("isolated", isolated, 1.0));
+  bench::append_json_line(qos_row("contended", contended, ratio));
+  if (assert_ratio && ratio < 0.8) {
+    std::fprintf(stderr,
+                 "micro_qos: FAIL — stalled weight-1 lane dragged the weight-4 node to "
+                 "%.0f%% of isolated throughput (< 80%%) on a %u-core host\n",
+                 ratio * 100.0, cores);
+    return 1;
+  }
+  return 0;
+}

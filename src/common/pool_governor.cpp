@@ -21,11 +21,26 @@ PoolGovernor::PoolGovernor(std::string name, ThreadPool& pool,
                            const std::atomic<std::uint64_t>& grow_signal,
                            const std::atomic<std::uint64_t>& shrink_signal,
                            PoolGovernorConfig config)
-    : name_(std::move(name)),
-      pool_(pool),
-      grow_signal_(grow_signal),
-      shrink_signal_(shrink_signal),
-      config_(config) {
+    // The counter-pair form is the sampler form with the window diffing
+    // synthesized here: remember each total, return the per-window deltas.
+    : PoolGovernor(std::move(name), pool,
+                   [&grow_signal, &shrink_signal,
+                    last_grow = grow_signal.load(std::memory_order_relaxed),
+                    last_shrink = shrink_signal.load(std::memory_order_relaxed)]() mutable {
+                     Window w;
+                     std::uint64_t grow_now = grow_signal.load(std::memory_order_relaxed);
+                     std::uint64_t shrink_now = shrink_signal.load(std::memory_order_relaxed);
+                     w.grow = grow_now - last_grow;
+                     w.shrink = shrink_now - last_shrink;
+                     last_grow = grow_now;
+                     last_shrink = shrink_now;
+                     return w;
+                   },
+                   config) {}
+
+PoolGovernor::PoolGovernor(std::string name, ThreadPool& pool, WindowSampler sampler,
+                           PoolGovernorConfig config)
+    : name_(std::move(name)), pool_(pool), sampler_(std::move(sampler)), config_(config) {
   // Taking over sizing means enforcing the documented contract from the
   // first instant: a pool started outside [min, max] is brought into the
   // band now, as initialization (not counted or logged as a resize).
@@ -65,8 +80,6 @@ PoolGovernor::Stats PoolGovernor::stats() const {
 }
 
 void PoolGovernor::run() {
-  std::uint64_t last_grow = grow_signal_.load(std::memory_order_relaxed);
-  std::uint64_t last_shrink = shrink_signal_.load(std::memory_order_relaxed);
   std::uint64_t cooldown = 0;
 
   std::unique_lock<std::mutex> lock(mutex_);
@@ -74,12 +87,9 @@ void PoolGovernor::run() {
     if (cv_.wait_for(lock, config_.interval, [&] { return stopped_; })) return;
     lock.unlock();
 
-    std::uint64_t grow_now = grow_signal_.load(std::memory_order_relaxed);
-    std::uint64_t shrink_now = shrink_signal_.load(std::memory_order_relaxed);
-    std::uint64_t grow_delta = grow_now - last_grow;
-    std::uint64_t shrink_delta = shrink_now - last_shrink;
-    last_grow = grow_now;
-    last_shrink = shrink_now;
+    Window window = sampler_();
+    std::uint64_t grow_delta = window.grow;
+    std::uint64_t shrink_delta = window.shrink;
 
     if (cooldown > 0) {
       --cooldown;

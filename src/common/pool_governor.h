@@ -30,6 +30,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -78,11 +79,32 @@ class PoolGovernor {
     std::size_t threads_peak = 0;     ///< widest the pool has been
   };
 
+  /// One control window's worth of evidence, as deltas (not running
+  /// totals): `grow` events say the pool is the bottleneck, `shrink` events
+  /// that its width is waste.
+  struct Window {
+    std::uint64_t grow = 0;
+    std::uint64_t shrink = 0;
+  };
+  /// Called once per control interval from the governor thread. Engines
+  /// with per-lane accounting weigh lanes in or out here — e.g. the daemon
+  /// drops the shrink votes of closed or zero-delivery lanes, so one cold
+  /// sink cannot shrink the pool the healthy lanes still need.
+  using WindowSampler = std::function<Window()>;
+
   /// `grow_signal` dominating a window grows `pool`; `shrink_signal`
   /// dominating shrinks it. `name` labels the one log line per resize.
+  /// (Counter-pair form: the governor samples the two running totals and
+  /// diffs them per window itself.)
   PoolGovernor(std::string name, ThreadPool& pool,
                const std::atomic<std::uint64_t>& grow_signal,
                const std::atomic<std::uint64_t>& shrink_signal, PoolGovernorConfig config);
+
+  /// Sampler form: `sampler` is invoked once per interval and returns that
+  /// window's grow/shrink deltas directly. It must stay callable until
+  /// stop()/destruction, and everything it reads must outlive the governor.
+  PoolGovernor(std::string name, ThreadPool& pool, WindowSampler sampler,
+               PoolGovernorConfig config);
 
   ~PoolGovernor();
 
@@ -99,8 +121,7 @@ class PoolGovernor {
 
   const std::string name_;
   ThreadPool& pool_;
-  const std::atomic<std::uint64_t>& grow_signal_;
-  const std::atomic<std::uint64_t>& shrink_signal_;
+  WindowSampler sampler_;  ///< per-window evidence source (both ctors)
   const PoolGovernorConfig config_;
 
   std::atomic<std::uint64_t> resizes_{0};

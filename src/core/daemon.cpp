@@ -4,9 +4,9 @@
 #include <stdexcept>
 #include <thread>
 
-#include "common/bounded_queue.h"
 #include "common/log.h"
 #include "common/sequencer.h"
+#include "core/lane_stats_json.h"
 
 namespace emlio::core {
 
@@ -34,25 +34,34 @@ class JoinGuard {
 
 /// Per-sink pipeline lane: the locally-owned assignments for one destination
 /// node (sorted by batch_id), a re-sequencer for out-of-order encode
-/// completions, and the bounded prefetch queue its sender thread drains.
+/// completions, and the shared-lane prefetch queue its sender thread drains.
+/// The queue/stall/peak machinery that used to live here IS the common
+/// Lane<T> now; what remains is the daemon-specific glue around it.
 struct Daemon::SinkLane {
-  explicit SinkLane(std::size_t depth) : queue(depth) {}
+  SinkLane(std::string name, std::size_t depth, LaneQos qos)
+      : lane(std::move(name), depth, qos) {}
 
   std::uint32_t node_id = 0;
   net::MessageSink* sink = nullptr;
   std::vector<BatchAssignment> jobs;  ///< sorted by batch_id; read-only
-  BoundedQueue<OutboundBatch> queue;
+  /// Bounded prefetch queue + per-lane counters + QoS (weight feeds the DWRR
+  /// admission cycle; rate_per_sec throttles the sender edge via pop()).
+  Lane<OutboundBatch> lane;
   std::atomic<bool> failed{false};
   std::atomic<std::uint64_t>* counter = nullptr;  ///< sentinel accounting
 
   // Re-sequencer state, guarded by mu: encode jobs finish out of order but
   // the queue is fed strictly in jobs[] order so the wire stream stays
   // deterministic (the same common::Sequencer the receiver's decode pool
-  // uses). pump() is the only consumer; next_submit admits new jobs.
+  // uses). pump() is the only consumer.
   std::mutex mu;
   Sequencer<OutboundBatch> resequencer;  ///< seq → encoded result, in order
-  std::size_t next_submit = 0;  ///< next jobs[] index to hand to the pool
   std::uint64_t stall_seq = UINT64_MAX;  ///< last seq counted as an enqueue stall
+
+  // Admission bookkeeping, guarded by Daemon::admit_mutex_ (NOT mu):
+  std::size_t next_submit = 0;  ///< next jobs[] index to hand to the pool
+  std::size_t in_window = 0;    ///< admitted but not yet queued (≤ window)
+  std::size_t cycle_slot = 0;   ///< this lane's index in admit_cycle_
 };
 
 Daemon::Daemon(DaemonConfig config, std::vector<tfrecord::ShardReader> readers,
@@ -88,10 +97,26 @@ DaemonStats Daemon::stats() const {
   s.samples_sent = samples_sent_.load(std::memory_order_relaxed);
   s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
   s.encode_pool = pool_->stats();
-  s.enqueue_stalls = enqueue_stalls_.load(std::memory_order_relaxed);
-  s.sender_stalls = sender_stalls_.load(std::memory_order_relaxed);
-  s.queue_peak_depth = queue_peak_depth_.load(std::memory_order_relaxed);
   s.errors = errors_.load(std::memory_order_relaxed);
+  {
+    // Per-node lane breakdown: completed epochs (lane_totals_) plus any live
+    // epoch's lanes, folded per destination node. The flat stall/peak fields
+    // are the aggregates of these — the lanes array is now the source of
+    // truth, not a parallel set of global atomics.
+    std::lock_guard<std::mutex> lock(lanes_mutex_);
+    std::map<std::uint32_t, LaneStats> agg = lane_totals_;
+    for (const SinkLane* lane : live_lanes_) {
+      accumulate(agg[lane->node_id], lane->lane.stats());
+    }
+    s.lanes.reserve(agg.size());
+    for (auto& [node_id, lane_stats] : agg) {
+      (void)node_id;
+      s.enqueue_stalls += lane_stats.enqueue_stalls;
+      s.sender_stalls += lane_stats.dequeue_stalls;
+      s.queue_peak_depth = std::max(s.queue_peak_depth, lane_stats.queue_peak_depth);
+      s.lanes.push_back(std::move(lane_stats));
+    }
+  }
   s.store_reads = store_reads_.load(std::memory_order_relaxed);
   s.store_records_read = store_records_read_.load(std::memory_order_relaxed);
   for (const auto& [id, sink] : sinks_) {
@@ -137,6 +162,7 @@ json::Value to_json(const DaemonStats& s) {
   o["cache_resident_bytes"] = s.cache.resident_bytes;
   o["cache_resident_bytes_peak"] = s.cache.resident_bytes_peak;
   o["cache_entries"] = s.cache.entries;
+  o["lanes"] = to_json(s.lanes);
   return json::Value(std::move(o));
 }
 
@@ -157,14 +183,43 @@ void Daemon::record_error(const std::string& what) {
   if (last_error_.empty()) last_error_ = what;
 }
 
-void Daemon::note_queue_depth(std::size_t depth) {
-  // Cold path only: lane queues track their own peak inside push (one lock,
-  // no second size() round-trip per batch); the per-epoch peaks are folded
-  // in here after the senders join.
-  std::uint64_t seen = queue_peak_depth_.load(std::memory_order_relaxed);
-  while (depth > seen &&
-         !queue_peak_depth_.compare_exchange_weak(seen, depth, std::memory_order_relaxed)) {
+LaneQos Daemon::lane_qos_for(std::uint32_t node_id) const {
+  auto it = config_.node_qos.find(node_id);
+  LaneQos qos = it != config_.node_qos.end() ? it->second : config_.default_lane_qos;
+  qos.weight = std::max<std::uint32_t>(qos.weight, 1);
+  return qos;
+}
+
+PoolGovernor::Window Daemon::sample_lane_window() {
+  // Per-lane stall evidence for the governor, one control window at a time.
+  // THE COLD-SINK FIX: the old aggregate counters let one wedged sink (full
+  // queue, no consumer) pile up enqueue stalls and shrink the encode pool the
+  // healthy lanes still needed. Here each lane votes separately and a lane is
+  // weighted out of the shrink side unless it actually delivered this window
+  // — a wedged or idle lane's full-queue stalls say nothing about pool width.
+  // Rate-limited lanes are also excluded from shrink: their enqueue stalls
+  // measure the configured throttle, not encode overcapacity. Failed lanes
+  // vote on neither side.
+  PoolGovernor::Window w;
+  std::lock_guard<std::mutex> lock(lanes_mutex_);
+  for (SinkLane* lane : live_lanes_) {
+    LaneBaseline& base = governor_base_[lane];
+    const std::uint64_t enq = lane->lane.enqueue_stalls();
+    const std::uint64_t deq = lane->lane.dequeue_stalls();
+    const std::uint64_t del = lane->lane.delivered_items();
+    const std::uint64_t d_enq = enq - base.enq;
+    const std::uint64_t d_deq = deq - base.deq;
+    const std::uint64_t d_del = del - base.del;
+    base.enq = enq;
+    base.deq = deq;
+    base.del = del;
+    if (lane->failed.load(std::memory_order_acquire)) continue;
+    w.grow += d_deq;  // its sender starved: encode is the bottleneck
+    if (d_del > 0 && lane->lane.qos().rate_per_sec == 0 && !lane->lane.closed()) {
+      w.shrink += d_enq;  // a HEALTHY lane's queue ran full: width is waste
+    }
   }
+  return w;
 }
 
 void Daemon::ensure_encode_pool() {
@@ -172,6 +227,7 @@ void Daemon::ensure_encode_pool() {
     std::size_t n = config_.pool_threads ? config_.pool_threads : auto_pool_width();
     encode_pool_ = std::make_unique<ThreadPool>(n);
   }
+  std::size_t width_cap = encode_pool_->target_threads();
   if (config_.adaptive_pool && !governor_) {
     auto gc = PoolGovernorConfig::from_knobs(config_.adaptive_min_threads,
                                              config_.adaptive_max_threads,
@@ -184,11 +240,19 @@ void Daemon::ensure_encode_pool() {
     std::size_t feedable = std::max<std::size_t>(config_.prefetch_depth, 1) *
                            std::max<std::size_t>(sinks_.size(), 1);
     gc.max_threads = std::max(gc.min_threads, std::min(gc.max_threads, feedable));
-    // The wire starving (sender_stalls) grows the encode pool; the pool
-    // outrunning the wire (enqueue_stalls) shrinks it.
+    // The wire starving (dequeue stalls) grows the encode pool; the pool
+    // outrunning the wire (enqueue stalls) shrinks it — per-lane windows,
+    // with unhealthy lanes weighted out (see sample_lane_window).
     governor_ = std::make_unique<PoolGovernor>(config_.daemon_id + "/encode", *encode_pool_,
-                                               sender_stalls_, enqueue_stalls_, gc);
+                                               [this] { return sample_lane_window(); }, gc);
+    width_cap = std::max(width_cap, gc.max_threads);
   }
+  // Global in-flight encode budget for DWRR admission: ~2× the widest the
+  // pool can be keeps every worker fed while staying small enough that the
+  // weighted cycle — not queue luck — decides encode share under contention.
+  // Monotone max: a later call (pool at a governed-down width) never shrinks
+  // the budget below what the first sizing established.
+  admit_budget_ = std::max(admit_budget_, std::max<std::size_t>(4, 2 * width_cap));
 }
 
 msgpack::WireBatch Daemon::build_batch(const BatchAssignment& a) const {
@@ -315,70 +379,108 @@ void Daemon::encode_job(SinkLane& lane, std::size_t seq) {
     lane.resequencer.put(seq, std::move(out));
   }
   pump(lane);
+  {
+    std::lock_guard<std::mutex> lock(admit_mutex_);
+    --admit_running_;
+  }
+  admit_more();  // the freed budget slot goes to whichever lane DWRR picks
 }
 
 void Daemon::pump(SinkLane& lane) {
-  // Move the ready prefix of finished results into the prefetch queue (in
-  // batch-id order) and admit one new encode job per batch queued. Called by
-  // encode workers (a result just parked) and by the sender (space just
-  // freed). Strictly NON-BLOCKING: when this lane's queue is full, the
-  // batch stays parked and no new job is admitted — so a backpressured sink
-  // idles only its own lane (≤ depth parked results) and the shared pool
-  // keeps serving the other sinks. The §4.5 back-off is the stopped
-  // admission, not a blocked thread.
-  std::vector<std::size_t> to_submit;
+  // Move the ready prefix of finished results into the prefetch lane (in
+  // batch-id order), space permitting. Called by encode workers (a result
+  // just parked) and by the sender (space just freed). Strictly NON-BLOCKING:
+  // when this lane's queue is full, the batch stays parked — so a
+  // backpressured sink idles only its own lane (≤ window parked results) and
+  // the shared pool keeps serving the other sinks. The §4.5 back-off is the
+  // stopped admission (in_window stays saturated, so admit_more skips this
+  // lane), not a blocked thread.
+  std::size_t pushed = 0;
   {
     std::lock_guard<std::mutex> lock(lane.mu);
     if (lane.failed.load(std::memory_order_acquire)) {
-      lane.queue.close();  // abort: sender (if alive) drains then exits
+      lane.lane.close();  // abort: sender (if alive) drains then exits
       return;
     }
     while (OutboundBatch* head = lane.resequencer.front()) {
-      if (!lane.queue.try_push(*head)) {
-        if (lane.queue.closed()) {
-          // Sender closed the queue (sink gone); drop the epoch's remainder.
+      if (!lane.lane.try_push(*head)) {
+        if (lane.lane.closed()) {
+          // Sender closed the lane (sink gone); drop the epoch's remainder.
           lane.failed.store(true, std::memory_order_release);
           return;
         }
-        // Queue full: disk/encode outran the wire. Count once per batch.
+        // Queue full: disk/encode outran the wire. Count once per batch
+        // (try_push leaves stall accounting to us — this dedup).
         if (lane.stall_seq != lane.resequencer.next()) {
           lane.stall_seq = lane.resequencer.next();
-          enqueue_stalls_.fetch_add(1, std::memory_order_relaxed);
+          lane.lane.note_enqueue_stall();
         }
         break;
       }
       lane.resequencer.pop_front();  // try_push moved the value out of *head
-      // One batch queued admits one new job: in-flight (running or parked)
-      // stays ≤ the priming window.
-      if (lane.next_submit < lane.jobs.size()) to_submit.push_back(lane.next_submit++);
+      ++pushed;
     }
     if (lane.resequencer.next() == lane.jobs.size()) {
-      lane.queue.close();  // all queued: sender drains then exits
+      lane.lane.close();  // all queued: sender drains then exits
     }
   }
-  for (std::size_t seq : to_submit) {
-    encode_pool_->post([this, &lane, seq] { encode_job(lane, seq); });
+  if (pushed > 0) {
+    // Queued batches leave the admission window (lock order: lane.mu was
+    // released above — admit_mutex_ is never taken under a lane lock).
+    std::lock_guard<std::mutex> lock(admit_mutex_);
+    lane.in_window -= std::min(lane.in_window, pushed);
+  }
+}
+
+void Daemon::admit_more() {
+  // Hand out encode jobs deficit-weighted round-robin across the epoch's
+  // lanes, up to the global in-flight budget. A lane is admittable while it
+  // has unsubmitted jobs, a healthy sink, and room in its window
+  // (prefetch_depth admitted-but-not-yet-queued results) — a wedged sink's
+  // window saturates and its whole encode share flows to the healthy lanes.
+  // This replaces the old one-for-one per-lane admission: under a contended
+  // pool each lane's encode share now converges to weight / Σ weights.
+  std::vector<std::pair<SinkLane*, std::size_t>> grants;
+  {
+    std::lock_guard<std::mutex> lock(admit_mutex_);
+    if (epoch_lanes_.empty()) return;
+    auto admittable = [&](std::size_t slot) {
+      SinkLane* l = epoch_lanes_[slot];
+      return !l->failed.load(std::memory_order_acquire) &&
+             l->next_submit < l->jobs.size() && l->in_window < admit_window_depth_;
+    };
+    while (admit_running_ < admit_budget_) {
+      std::size_t slot = admit_cycle_.pick(admittable);
+      if (slot == WeightedCycle::npos) break;
+      SinkLane* l = epoch_lanes_[slot];
+      grants.emplace_back(l, l->next_submit++);
+      ++l->in_window;
+      ++admit_running_;
+    }
+  }
+  for (auto& [l, seq] : grants) {
+    encode_pool_->post([this, l, seq] { encode_job(*l, seq); });
   }
 }
 
 void Daemon::sender_loop(SinkLane& lane, std::uint32_t epoch) {
   for (;;) {
-    if (lane.queue.size() == 0 && !lane.queue.closed()) {
-      // Empty at pop time: the wire outran disk/encode.
-      sender_stalls_.fetch_add(1, std::memory_order_relaxed);
-    }
-    auto msg = lane.queue.pop();
+    // Lane::pop counts the dequeue stall (empty at entry: the wire outran
+    // disk/encode) and enforces this lane's rate limit at the consuming edge.
+    auto msg = lane.lane.pop();
     if (!msg) return;  // closed and drained
-    pump(lane);  // space just freed: refill while we spend time on the wire
+    pump(lane);       // space just freed: refill while we spend time on the wire
+    admit_more();
     std::uint64_t nbytes = msg->payload.size();
     if (timestamps_) timestamps_->record("batch_send", static_cast<std::int64_t>(msg->batch_id));
     if (!lane.sink->send(std::move(msg->payload))) {
       log::warn("daemon ", config_.daemon_id, ": sink for node ", lane.node_id,
                 " closed mid-epoch ", epoch);
       lane.failed.store(true, std::memory_order_release);
-      lane.queue.close();  // unblocks producers; their pushes now reject
+      lane.lane.close();  // unblocks producers; their pushes now reject
       return;
     }
+    lane.lane.add_delivered_bytes(nbytes);
     batches_sent_.fetch_add(1, std::memory_order_relaxed);
     samples_sent_.fetch_add(msg->nsamples, std::memory_order_relaxed);
     bytes_sent_.fetch_add(nbytes, std::memory_order_relaxed);
@@ -393,11 +495,12 @@ bool Daemon::pipelined_epoch(const EpochPlan& plan,
   const std::size_t depth = std::max<std::size_t>(1, config_.prefetch_depth);
 
   // One lane per destination node with locally-owned batches (already in
-  // batch-id order — the deterministic wire order).
+  // batch-id order — the deterministic wire order), carrying that node's QoS.
   std::vector<std::unique_ptr<SinkLane>> lanes;
   for (auto& [node_id, batches] : local) {
     if (batches.empty()) continue;
-    auto lane = std::make_unique<SinkLane>(depth);
+    auto lane = std::make_unique<SinkLane>("node" + std::to_string(node_id), depth,
+                                           lane_qos_for(node_id));
     lane->node_id = node_id;
     lane->sink = sinks_.at(node_id).get();
     lane->jobs = std::move(batches);
@@ -405,22 +508,55 @@ bool Daemon::pipelined_epoch(const EpochPlan& plan,
     lanes.push_back(std::move(lane));
   }
 
+  // Register the epoch's lanes: with the stats/governor registry (so a
+  // mid-epoch stats() or governor window sees them live) and with the DWRR
+  // admission cycle.
+  {
+    std::lock_guard<std::mutex> lock(lanes_mutex_);
+    for (auto& lane : lanes) live_lanes_.push_back(lane.get());
+  }
+  {
+    std::lock_guard<std::mutex> lock(admit_mutex_);
+    epoch_lanes_.clear();
+    admit_cycle_ = WeightedCycle{};
+    admit_running_ = 0;
+    admit_window_depth_ = depth;
+    for (auto& lane : lanes) {
+      lane->cycle_slot = epoch_lanes_.size();
+      epoch_lanes_.push_back(lane.get());
+      admit_cycle_.add(lane->lane.qos().weight);
+    }
+  }
+
   {
     std::vector<std::thread> senders;
-    // Runs on BOTH paths (exception or normal): close every queue (so
-    // blocked producers and senders unblock), join the senders — a joinable
-    // sender must never be destroyed — and wait out straggler encode jobs,
-    // which reference the lanes this frame owns.
+    // Runs on BOTH paths (exception or normal): close every lane (so blocked
+    // producers and senders unblock), join the senders — a joinable sender
+    // must never be destroyed — wait out straggler encode jobs (they
+    // reference the lanes this frame owns), then retire the lanes: fold
+    // their counters into the per-node lifetime totals and drop them from
+    // the admission + governor registries.
     struct DrainGuard {
       Daemon* daemon;
       std::vector<std::unique_ptr<SinkLane>>& lanes;
       std::vector<std::thread>& senders;
       ~DrainGuard() {
-        for (auto& lane : lanes) lane->queue.close();
+        for (auto& lane : lanes) lane->lane.close();
         for (auto& t : senders) {
           if (t.joinable()) t.join();
         }
         daemon->encode_pool_->wait_idle();
+        {
+          std::lock_guard<std::mutex> lock(daemon->admit_mutex_);
+          daemon->epoch_lanes_.clear();
+        }
+        std::lock_guard<std::mutex> lock(daemon->lanes_mutex_);
+        for (auto& lane : lanes) {
+          accumulate(daemon->lane_totals_[lane->node_id], lane->lane.stats());
+          daemon->governor_base_.erase(lane.get());
+          auto& live = daemon->live_lanes_;
+          live.erase(std::remove(live.begin(), live.end(), lane.get()), live.end());
+        }
       }
     } drain_guard{this, lanes, senders};
 
@@ -429,17 +565,10 @@ bool Daemon::pipelined_epoch(const EpochPlan& plan,
       senders.emplace_back(
           [this, lane = lane.get(), epoch = plan.epoch] { sender_loop(*lane, epoch); });
     }
-    // Prime each lane with a window of `depth` encode jobs; every completed
-    // job admits the next, so at most `depth` results are ever buffered
-    // ahead of the queue per sink.
-    for (auto& lane : lanes) {
-      std::lock_guard<std::mutex> lock(lane->mu);
-      std::size_t window = std::min(depth, lane->jobs.size());
-      for (; lane->next_submit < window; ++lane->next_submit) {
-        std::size_t seq = lane->next_submit;
-        encode_pool_->post([this, lane = lane.get(), seq] { encode_job(*lane, seq); });
-      }
-    }
+    // Prime the pipeline: DWRR hands out the first budget's worth of encode
+    // jobs; every completion and every queued batch re-admits through the
+    // same weighted cycle.
+    admit_more();
     // Normal completion: each lane's flush closes its queue after the last
     // batch, and its sender exits once drained. (The guard re-joins, closes
     // and waits out straggler encode jobs — all idempotent.)
@@ -448,7 +577,6 @@ bool Daemon::pipelined_epoch(const EpochPlan& plan,
 
   bool clean = true;
   for (const auto& lane : lanes) {
-    note_queue_depth(lane->queue.peak_depth());
     if (lane->failed.load(std::memory_order_acquire)) clean = false;
   }
   return clean;

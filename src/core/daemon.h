@@ -32,6 +32,7 @@
 
 #include "cache/sample_cache.h"
 #include "common/clock.h"
+#include "common/lane.h"
 #include "common/pool_governor.h"
 #include "common/thread_pool.h"
 #include "common/timestamp_logger.h"
@@ -66,6 +67,16 @@ struct DaemonConfig {
   std::size_t adaptive_min_threads = 1;
   std::size_t adaptive_max_threads = 0;
   std::uint64_t adaptive_interval_ms = 20;
+  /// QoS descriptor applied to every sink lane (class, weighted-fair share,
+  /// optional items/sec rate limit at the sender edge). Encode-pool
+  /// admission is deficit-weighted round-robin across the sink lanes, so a
+  /// node with weight W is guaranteed W / Σ weights of a contended encode
+  /// pool — and a stalled lane (full queue, no consumer) stops admitting
+  /// entirely, leaving its whole share to the healthy lanes. Per-lane wire
+  /// streams stay byte-identical and batch-id-ordered at every weight.
+  LaneQos default_lane_qos;
+  /// Per-destination-node overrides of default_lane_qos.
+  std::map<std::uint32_t, LaneQos> node_qos;
   /// Sample-cache byte budget. 0 (default) disables the cache; otherwise
   /// record payloads are kept in memory keyed by (shard, sample index), so
   /// warm epochs skip the shard read — and CRC verification — entirely
@@ -114,6 +125,11 @@ struct DaemonStats {
   /// parking and other control syscalls are excluded on every transport.
   std::uint64_t wire_syscalls = 0;
   cache::SampleCacheStats cache;         ///< zeros when the cache is off
+  /// Per-destination-node lane breakdown (pipelined engine): completed
+  /// epochs folded per node plus any live epoch's lanes, sorted by node id.
+  /// enqueue_stalls/sender_stalls/queue_peak_depth above are the aggregates
+  /// of these (sum / sum / max).
+  std::vector<LaneStats> lanes;
 };
 
 /// Serialize the full stats block (throughput + pipeline + cache) as one
@@ -177,13 +193,17 @@ class Daemon {
   bool serial_epoch(const EpochPlan& plan, NodeCounters& counters);
   void encode_job(SinkLane& lane, std::size_t seq);
   void pump(SinkLane& lane);
+  void admit_more();
   void sender_loop(SinkLane& lane, std::uint32_t epoch);
   void send_worker(const WorkerPlan& worker, std::uint32_t epoch,
                    std::atomic<std::uint64_t>& node_counter);
   msgpack::WireBatch build_batch(const BatchAssignment& assignment) const;
   void record_error(const std::string& what);
-  void note_queue_depth(std::size_t depth);
   void ensure_encode_pool();
+  LaneQos lane_qos_for(std::uint32_t node_id) const;
+  /// One governor control window of per-lane evidence — the cold-sink fix
+  /// lives here (see the .cpp).
+  PoolGovernor::Window sample_lane_window();
 
   DaemonConfig config_;
   std::map<std::uint32_t, tfrecord::ShardReader> readers_;
@@ -204,9 +224,6 @@ class Daemon {
   std::atomic<std::uint64_t> batches_sent_{0};
   std::atomic<std::uint64_t> samples_sent_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};
-  std::atomic<std::uint64_t> enqueue_stalls_{0};
-  std::atomic<std::uint64_t> sender_stalls_{0};
-  std::atomic<std::uint64_t> queue_peak_depth_{0};
   std::atomic<std::uint64_t> errors_{0};
   // mutable: bumped inside const build_batch (a read-side cache effect).
   mutable std::atomic<std::uint64_t> store_reads_{0};
@@ -214,6 +231,31 @@ class Daemon {
 
   mutable std::mutex error_mutex_;
   std::string last_error_;
+
+  // Encode-pool admission (pipelined engine), all guarded by admit_mutex_:
+  // one DWRR cycle picks which sink lane gets the next encode job, bounded
+  // by a global running-job budget (≈ 2× the widest pool — enough to keep
+  // every worker fed, small enough that the weighted choice decides encode
+  // share under contention) and a per-lane in-window cap (prefetch_depth:
+  // admitted but not yet queued). NEVER acquired while holding a lane's mu.
+  std::mutex admit_mutex_;
+  std::vector<SinkLane*> epoch_lanes_;  ///< live only while an epoch runs
+  WeightedCycle admit_cycle_;
+  std::size_t admit_budget_ = 0;
+  std::size_t admit_running_ = 0;
+  std::size_t admit_window_depth_ = 0;
+
+  // Lane registry + lifetime accounting, guarded by lanes_mutex_ (cold
+  // paths only: stats(), governor windows, epoch setup/teardown). Live
+  // lanes are registered for the epoch's duration; at teardown their
+  // counters fold into lane_totals_ per destination node.
+  mutable std::mutex lanes_mutex_;
+  std::vector<SinkLane*> live_lanes_;
+  std::map<std::uint32_t, LaneStats> lane_totals_;
+  struct LaneBaseline {
+    std::uint64_t enq = 0, deq = 0, del = 0;
+  };
+  std::map<const SinkLane*, LaneBaseline> governor_base_;  ///< sampler state
 
   /// Adaptive sizing controller over encode_pool_ (config_.adaptive_pool).
   /// Declared last on purpose: it is destroyed first, so its control thread

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/log.h"
+#include "core/lane_stats_json.h"
 
 namespace emlio::core {
 
@@ -36,12 +37,14 @@ Receiver::Receiver(ReceiverConfig config, std::vector<std::unique_ptr<net::Messa
   }
 
   if (config_.decode_threads > 0) {
-    // Pooled engine: one ingest thread per source stamps arrival tickets and
-    // feeds the decode pool under a bounded in-flight window (2× the pool:
-    // enough parked results to keep every worker busy across out-of-order
-    // completions, small enough that a stalled consumer stops ingest fast).
-    // Under the governor the window is sized for the widest pool it may
-    // grow, or admission would cap the parallelism the resize just bought.
+    // Pooled engine: one ingest thread per source feeds that source's QoS
+    // lane; one dispatcher drains the lanes weighted-fair, stamps arrival
+    // tickets and feeds the decode pool under a bounded in-flight window
+    // (2× the pool: enough parked results to keep every worker busy across
+    // out-of-order completions, small enough that a stalled consumer stops
+    // ingest fast). Under the governor the window is sized for the widest
+    // pool it may grow, or admission would cap the parallelism the resize
+    // just bought.
     decode_pool_ = std::make_unique<ThreadPool>(config_.decode_threads);
     std::size_t window_width = config_.decode_threads;
     if (config_.adaptive_pool) {
@@ -62,36 +65,46 @@ Receiver::Receiver(ReceiverConfig config, std::vector<std::unique_ptr<net::Messa
                                                  decode_stalls_, resequence_stalls_, gc);
     }
     window_ = std::max<std::size_t>(window_width * 2, 4);
-    ingest_active_ = sources_.size();
-    for (auto& s : sources_) {
-      threads_.emplace_back([this, src = s.get()] { ingest_loop(*src); });
+    build_source_lanes();
+    ingest_active_ = 1;  // the dispatcher below is the window's one feeder
+    for (std::size_t i = 0; i < sources_.size(); ++i) {
+      threads_.emplace_back([this, src = sources_[i].get(), i] {
+        ingest_loop(*src, scheduler_->lane(i));
+      });
     }
+    threads_.emplace_back([this] { dispatch_loop(); });
   } else if (sources_.size() == 1) {
     // Legacy serial engine, exactly as before: one thread pulls, decodes and
     // sequences.
     ingest_active_ = 1;
     threads_.emplace_back([this] { serial_loop(*sources_.front()); });
   } else {
-    // Serial engine over N sources: the hand-built fan-in pattern (payload
-    // mux into one decode thread), now inside the receiver.
-    mux_ = std::make_unique<BoundedQueue<Payload>>(
-        std::max<std::size_t>(config_.queue_capacity, 16));
-    mux_pumps_open_.store(sources_.size(), std::memory_order_relaxed);
-    ingest_active_ = 1;  // the single decode thread below
-    for (auto& s : sources_) {
-      threads_.emplace_back([this, src = s.get()] { mux_pump(*src); });
+    // Serial engine over N sources: the same per-source lanes + weighted
+    // dispatcher as the pooled engine, decoding inline on the drain thread
+    // (this replaced the hand-built payload mux into one decode thread).
+    build_source_lanes();
+    ingest_active_ = 1;  // the single drain thread below
+    for (std::size_t i = 0; i < sources_.size(); ++i) {
+      threads_.emplace_back([this, src = sources_[i].get(), i] {
+        ingest_loop(*src, scheduler_->lane(i));
+      });
     }
-    threads_.emplace_back([this] {
-      while (auto payload = mux_->pop()) {
-        bool error = false;
-        auto batch = decode_payload(*payload, error);
-        if (!error) {
-          std::lock_guard<std::mutex> delivery(delivery_mutex_);
-          process_batch(std::move(batch), payload->size());
-        }
-      }
-      finish_stage_member(/*is_ingest=*/true);
-    });
+    threads_.emplace_back([this] { serial_drain_loop(); });
+  }
+}
+
+LaneQos Receiver::lane_qos_for_source(std::size_t index) const {
+  LaneQos qos = index < config_.source_qos.size() ? config_.source_qos[index]
+                                                  : config_.default_lane_qos;
+  qos.weight = std::max<std::uint32_t>(qos.weight, 1);
+  return qos;
+}
+
+void Receiver::build_source_lanes() {
+  scheduler_ = std::make_unique<LaneScheduler<Payload>>();
+  const std::size_t depth = std::max<std::size_t>(config_.ingest_lane_depth, 1);
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    scheduler_->add_lane("src" + std::to_string(i), depth, lane_qos_for_source(i));
   }
 }
 
@@ -110,7 +123,9 @@ Receiver::~Receiver() {
 void Receiver::close() {
   if (closed_.exchange(true, std::memory_order_acq_rel)) return;
   for (auto& s : sources_) s->close();
-  if (mux_) mux_->close();
+  // Closed lanes stop accepting (ingest threads' in-hand payloads count as
+  // drops) and drain unthrottled, so the dispatcher can account what is left.
+  if (scheduler_) scheduler_->close_all();
   {
     std::lock_guard<std::mutex> lock(window_mutex_);
     window_closed_ = true;
@@ -146,6 +161,7 @@ ReceiverStats Receiver::stats() const {
     s.pool_threads_current = decode_pool_->target_threads();
     s.pool_threads_peak = s.pool_threads_current;
   }
+  if (scheduler_) s.lanes = scheduler_->stats();
   return s;
 }
 
@@ -164,6 +180,7 @@ json::Value to_json(const ReceiverStats& s) {
   o["pool_resizes"] = s.pool_resizes;
   o["pool_threads_current"] = s.pool_threads_current;
   o["pool_threads_peak"] = s.pool_threads_peak;
+  o["lanes"] = to_json(s.lanes);
   return json::Value(std::move(o));
 }
 
@@ -297,27 +314,58 @@ void Receiver::serial_loop(net::MessageSource& source) {
   finish_stage_member(/*is_ingest=*/true);
 }
 
-void Receiver::mux_pump(net::MessageSource& source) {
+// ------------------------------------------------- per-source lane engines
+
+void Receiver::ingest_loop(net::MessageSource& source, Lane<Payload>& lane) {
+  // Pull raw payloads off one source into its QoS lane. A full lane blocks
+  // here (Lane::push counts the per-lane enqueue stall), which blocks the
+  // transport, which blocks that daemon — per-source backpressure that never
+  // touches the other lanes.
   while (auto payload = source.recv()) {
-    if (!mux_->push(std::move(*payload))) {
-      // Shutting down: the mux rejected a payload this pump already pulled
-      // off the wire — same mid-admission loss as the pooled window close.
+    if (!lane.push(*payload)) {
+      // Shutting down: the lane rejected a payload this thread already
+      // pulled off the wire — without the count it would simply vanish
+      // (received != delivered + dropped, and nobody would know why).
       // (Rejected pushes leave the payload in place, so it is inspectable.)
       if (payload_is_data(*payload)) {
         count_drop(1, "engine closed with a payload pulled off the wire mid-admission");
       }
-      return;
+      break;
     }
   }
-  if (mux_pumps_open_.fetch_sub(1, std::memory_order_acq_rel) == 1) mux_->close();
+  // This source is done (transport closed or engine closing): its lane
+  // drains, then the dispatcher's scheduler drops it from the rotation.
+  lane.close();
+}
+
+void Receiver::serial_drain_loop() {
+  // Serial multi-source engine: drain the lanes weighted-fair, decoding
+  // inline — one decode thread, like the old mux, but with DWRR arbitration
+  // and per-lane accounting instead of one shared FIFO.
+  while (auto item = scheduler_->pop()) {
+    const std::size_t wire_bytes = item->value.size();
+    scheduler_->lane(item->lane_index).add_delivered_bytes(wire_bytes);
+    bool error = false;
+    auto batch = decode_payload(item->value, error);
+    if (!error) {
+      std::lock_guard<std::mutex> delivery(delivery_mutex_);
+      process_batch(std::move(batch), wire_bytes);
+    }
+  }
+  finish_stage_member(/*is_ingest=*/true);
 }
 
 // ----------------------------------------------------------- pooled engine
 
-void Receiver::ingest_loop(net::MessageSource& source) {
-  for (;;) {
-    auto payload = source.recv();
-    if (!payload) break;  // transport closed
+void Receiver::dispatch_loop() {
+  // Single consumer of every source lane: take payloads in deficit-weighted
+  // round-robin order, stamp each with a global arrival ticket, and hand it
+  // to the decode pool under the bounded in-flight window. The ticket order
+  // IS the delivery order, so per-lane streams stay in arrival order at
+  // every weight — the scheduler only decides how lanes interleave.
+  while (auto item = scheduler_->pop()) {
+    const std::size_t wire_bytes = item->value.size();
+    scheduler_->lane(item->lane_index).add_delivered_bytes(wire_bytes);
     std::uint64_t ticket = 0;
     {
       std::unique_lock<std::mutex> lock(window_mutex_);
@@ -327,12 +375,17 @@ void Receiver::ingest_loop(net::MessageSource& source) {
         window_cv_.wait(lock, [&] { return inflight_ < window_ || window_closed_; });
       }
       if (window_closed_) {
-        // This payload is already off the wire but was refused admission by
-        // the closing engine — without the count it would simply vanish
-        // (received != delivered + dropped, and nobody would know why).
+        // Refused admission by the closing engine: account this payload,
+        // then drain and account whatever is left in the lanes (closed
+        // lanes never block), keeping pulled == delivered + dropped.
         lock.unlock();
-        if (payload_is_data(*payload)) {
+        if (payload_is_data(item->value)) {
           count_drop(1, "engine closed with a payload pulled off the wire mid-admission");
+        }
+        while (auto rest = scheduler_->pop()) {
+          if (payload_is_data(rest->value)) {
+            count_drop(1, "engine closed with a payload pulled off the wire mid-admission");
+          }
         }
         break;
       }
@@ -341,7 +394,7 @@ void Receiver::ingest_loop(net::MessageSource& source) {
       // as admission keeps the two atomic per payload.
       ticket = next_ticket_++;
     }
-    decode_pool_->post([this, ticket, p = std::move(*payload)]() mutable {
+    decode_pool_->post([this, ticket, p = std::move(item->value)]() mutable {
       decode_job(ticket, std::move(p));
     });
   }

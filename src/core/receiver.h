@@ -4,27 +4,32 @@
 // serial stage of the mmap→GPU path decodes in parallel under many-daemon
 // fan-in:
 //
-//   ingest threads            decode workers              ordered delivery
-//   (one per MessageSource)   (shared ThreadPool,         (Sequencer -> epoch
-//   stamp arrival tickets --> decode_threads wide)    --> reassembly -> shared
-//                                                         BoundedQueue)
+//   ingest threads           per-source        dispatcher    decode workers
+//   (one per MessageSource)  QoS lanes         (DWRR over    (shared pool) ->
+//   pull raw payloads    --> (common/lane.h) -> the lanes, -> Sequencer ->
+//                                              stamps         epoch reassembly
+//                                              tickets)       -> BoundedQueue
 //
 // Each ingest thread pulls raw msgpack payloads off its own source — true
-// N-daemon fan-in runs N sources, not N streams muxed into one — stamps a
-// global arrival ticket, and hands the payload to the decode pool under a
-// bounded in-flight window (backpressure: a slow decode stage stops the
-// ingest threads, which stops the transport, which stops the daemons).
-// Decode workers deserialize out of order; a common::Sequencer restores
-// ticket order and a common::EpochSequencer applies the multi-sender
+// N-daemon fan-in runs N sources, not N streams muxed into one — and pushes
+// them into that source's bounded QoS lane. One dispatcher drains the lanes
+// deficit-weighted round-robin (LaneScheduler), stamps each payload with a
+// global arrival ticket, and hands it to the decode pool under a bounded
+// in-flight window (backpressure: a slow decode stage stops the dispatcher,
+// which fills the lanes, which stops the ingest threads, the transport, and
+// the daemons). Decode workers deserialize out of order; a common::Sequencer
+// restores ticket order and a common::EpochSequencer applies the multi-sender
 // end-of-epoch algebra (sentinel/pending bookkeeping) before batches land in
 // the bounded consumer queue — delivery order and sentinel semantics are
-// byte-identical to the legacy serial engine's.
+// byte-identical to the legacy serial engine's, and per-lane delivery stays
+// in arrival order at every weight.
 //
 // decode_threads == 0 keeps that legacy serial path for A/B benching: one
 // source decodes inline on its receive thread (exactly the old engine);
-// multiple sources are muxed through an internal queue into one decode
-// thread (exactly the FanInSource pattern multi-daemon callers built by
-// hand). next() hands batches to the DALI-style pipeline's external_source.
+// multiple sources run the same per-source lanes + weighted-fair dispatch
+// into one inline decode thread (this replaced the hand-built FanInSource
+// payload mux). next() hands batches to the DALI-style pipeline's
+// external_source.
 //
 // End-of-epoch detection: each serving daemon sends one sentinel per epoch;
 // once all `num_senders` sentinels for the current epoch have arrived AND
@@ -41,6 +46,7 @@
 #include <vector>
 
 #include "common/bounded_queue.h"
+#include "common/lane.h"
 #include "common/pool_governor.h"
 #include "common/sequencer.h"
 #include "common/thread_pool.h"
@@ -69,6 +75,21 @@ struct ReceiverConfig {
   std::size_t adaptive_min_threads = 1;
   std::size_t adaptive_max_threads = 0;
   std::uint64_t adaptive_interval_ms = 20;
+  /// Per-source ingest lane depth (pooled engine and the serial multi-source
+  /// fan-in). Raw payloads buffer here between a source's receive thread and
+  /// the weighted-fair dispatcher; a full lane blocks its ingest thread —
+  /// and through it the transport — without touching the other sources.
+  std::size_t ingest_lane_depth = 8;
+  /// QoS applied to every source lane: the dispatcher drains the lanes
+  /// deficit-weighted round-robin, so under fan-in contention source i gets
+  /// weight_i / Σ weights of the decode admissions — a stalled or slow
+  /// low-weight source cannot crowd out a high-weight one beyond its share.
+  /// Per-lane delivery stays in-arrival-order and byte-identical at every
+  /// weight.
+  LaneQos default_lane_qos;
+  /// Per-source overrides of default_lane_qos, indexed like `sources`.
+  /// Shorter than `sources` is fine: missing entries use the default.
+  std::vector<LaneQos> source_qos;
 };
 
 struct ReceiverStats {
@@ -100,6 +121,11 @@ struct ReceiverStats {
   std::uint64_t pool_resizes = 0;        ///< governor grow+shrink steps applied
   std::uint64_t pool_threads_current = 0;///< decode-pool width right now
   std::uint64_t pool_threads_peak = 0;   ///< widest the decode pool has been
+  /// Per-source ingest lane breakdown ("src<i>", in source order). Populated
+  /// by every engine that runs source lanes (pooled, and the serial
+  /// multi-source fan-in); empty under the single-source serial engine,
+  /// which has no lane stage.
+  std::vector<LaneStats> lanes;
 };
 
 /// Serialize the stats block as one flat JSON object (`emlio_receive
@@ -149,9 +175,12 @@ class Receiver {
     bool error = false;  ///< tombstone: fills the ticket gap, delivers nothing
   };
 
-  void ingest_loop(net::MessageSource& source);
+  void build_source_lanes();
+  void ingest_loop(net::MessageSource& source, Lane<Payload>& lane);
   void serial_loop(net::MessageSource& source);
-  void mux_pump(net::MessageSource& source);
+  void dispatch_loop();
+  void serial_drain_loop();
+  LaneQos lane_qos_for_source(std::size_t index) const;
   void decode_job(std::uint64_t ticket, Payload payload);
   msgpack::WireBatch decode_payload(const Payload& payload, bool& error);
   void pump_delivery();
@@ -193,9 +222,10 @@ class Receiver {
   /// ingest threads (window closed mid-admission) and the mux pumps.
   std::atomic<bool> drop_logged_{false};
 
-  // Serial engine, multi-source: raw payload mux feeding one decode thread.
-  std::unique_ptr<BoundedQueue<Payload>> mux_;
-  std::atomic<std::size_t> mux_pumps_open_{0};
+  // Per-source ingest lanes + their weighted-fair drainer (pooled engine and
+  // the serial multi-source fan-in — this replaced the hand-built payload
+  // mux). Null under the single-source serial engine.
+  std::unique_ptr<LaneScheduler<Payload>> scheduler_;
 
   std::vector<std::thread> threads_;
 

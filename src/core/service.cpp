@@ -32,6 +32,10 @@ EmlioService::EmlioService(ServiceConfig config)
     throw std::runtime_error("emlio service: unknown cache policy '" + config_.cache_policy +
                              "' (expected \"clock\" or \"lru\")");
   }
+  if (!parse_lane_class(config_.lane_class)) {
+    throw std::runtime_error("emlio service: unknown lane class '" + config_.lane_class +
+                             "' (expected \"interactive\" or \"bulk\")");
+  }
   PlannerConfig pc;
   pc.batch_size = config_.batch_size;
   pc.epochs = config_.epochs;
@@ -110,6 +114,11 @@ void EmlioService::start() {
   dc.adaptive_interval_ms = config_.adaptive_interval_ms;
   dc.cache_bytes = config_.cache_bytes;
   dc.cache_policy = *cache::parse_policy(config_.cache_policy);  // validated in ctor
+  LaneQos qos;
+  qos.lane_class = *parse_lane_class(config_.lane_class);  // validated in ctor
+  qos.weight = std::max<std::uint32_t>(config_.lane_weight, 1);
+  qos.rate_per_sec = config_.lane_rate;
+  dc.default_lane_qos = qos;
   daemon_ = std::make_unique<Daemon>(dc, std::move(readers), std::move(sinks), &timestamps_);
 
   ReceiverConfig rc;
@@ -120,6 +129,7 @@ void EmlioService::start() {
   rc.adaptive_min_threads = config_.adaptive_min_threads;
   rc.adaptive_max_threads = config_.adaptive_max_threads;
   rc.adaptive_interval_ms = config_.adaptive_interval_ms;
+  rc.default_lane_qos = qos;
   if (config_.adaptive_pool && rc.decode_threads == 0) {
     // adaptive_pool asks for governed engines; the serial receiver has no
     // pool to govern, so start the pooled engine at the governor's floor

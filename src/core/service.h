@@ -64,6 +64,17 @@ struct ServiceConfig {
   /// served entirely from memory (DaemonStats::store_reads stops growing).
   std::size_t cache_bytes = 0;
   std::string cache_policy = "clock";
+  /// QoS lane descriptor applied to the daemon's sink lane and the
+  /// receiver's source lane ("interactive" or "bulk" — anything else makes
+  /// the constructor throw; weight clamped to >= 1; lane_rate is an
+  /// items/sec token-bucket limit at the consuming edge, 0 = none). A
+  /// single-node service has one lane on each side, so the knobs mostly
+  /// matter for stats labelling and rate capping here; multi-lane fairness
+  /// lives in DaemonConfig::node_qos / ReceiverConfig::source_qos, which
+  /// multi-node deployments set directly.
+  std::string lane_class = "interactive";
+  std::uint32_t lane_weight = 1;
+  std::uint64_t lane_rate = 0;
   std::uint64_t seed = 1234;
   bool shuffle = true;
   bool verify_crc = false;

@@ -1,0 +1,167 @@
+// Live stats streaming — the first slice of the ROADMAP telemetry item.
+//
+// A StatsStreamer turns any JSON stats snapshot (core::to_json(DaemonStats),
+// core::to_json(ReceiverStats)) into a periodic tsdb line-protocol stream:
+//
+//   emlio_daemon,daemon=daemon0 batches_sent=128,bytes_sent=4194304 17...00
+//
+// `emlio_daemon --stats-interval SECS` / `emlio_receive --stats-interval
+// SECS` attach one to their engine's stats() and print a line per interval,
+// so a run can be watched live (or piped straight into tsdb::import_file)
+// instead of only inspected from the end-of-run --stats-json blob.
+//
+// Field semantics: every numeric field is emitted as the DELTA since the
+// previous line — each line is that window's activity, which is what a
+// rate panel wants — except fields named in Options::gauges, which are
+// point-in-time values (pool widths, resident bytes, peaks) and stream
+// as-is. Nested objects flatten with '.' separators; arrays of objects
+// (the per-lane breakdowns) key each element by its "name" member, so lane
+// counters stream as e.g. `lanes.node0.delivered_items`. Booleans stream as
+// 0/1; strings are dropped (line-protocol fields here are numeric only).
+//
+// stop() (or destruction) emits one final line covering the tail window, so
+// short runs still produce at least one complete delta trace.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "json/json.h"
+#include "tsdb/line_protocol.h"
+#include "tsdb/tsdb.h"
+
+namespace emlio::core {
+
+class StatsStreamer {
+ public:
+  /// Snapshot source, invoked once per interval (and once at stop()). Must
+  /// return a JSON object; called from the streamer thread.
+  using Sampler = std::function<json::Value()>;
+
+  struct Options {
+    std::string measurement = "emlio";
+    std::map<std::string, std::string> tags;
+    std::chrono::milliseconds interval{1000};
+    /// Field names streamed as point-in-time values instead of per-window
+    /// deltas. Matched against the flattened key's LAST '.'-segment, so one
+    /// entry ("queue_peak_depth") covers both the flat aggregate and every
+    /// per-lane instance ("lanes.node0.queue_peak_depth") without the caller
+    /// having to predict lane names.
+    std::set<std::string> gauges;
+    std::FILE* out = stdout;
+  };
+
+  StatsStreamer(Sampler sampler, Options options)
+      : sampler_(std::move(sampler)), options_(std::move(options)) {
+    thread_ = std::thread([this] { run(); });
+  }
+
+  ~StatsStreamer() { stop(); }
+
+  StatsStreamer(const StatsStreamer&) = delete;
+  StatsStreamer& operator=(const StatsStreamer&) = delete;
+
+  /// Emit the final tail-window line and join the streamer thread.
+  /// Idempotent; called by the destructor.
+  void stop() {
+    std::thread worker;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopped_ = true;
+      worker = std::move(thread_);  // only the first stop() gets the handle
+    }
+    cv_.notify_all();
+    if (worker.joinable()) worker.join();
+  }
+
+  /// Flatten a stats JSON object into line-protocol fields. Exposed for
+  /// tests (and anyone wanting the flattening without the thread).
+  static std::map<std::string, double> flatten(const json::Value& v) {
+    std::map<std::string, double> fields;
+    flatten_into(fields, "", v);
+    return fields;
+  }
+
+ private:
+  static void flatten_into(std::map<std::string, double>& fields, const std::string& prefix,
+                           const json::Value& v) {
+    if (v.is_object()) {
+      for (const auto& [key, child] : v.as_object()) {
+        flatten_into(fields, prefix.empty() ? key : prefix + "." + key, child);
+      }
+    } else if (v.is_array()) {
+      // Arrays of objects (the lanes breakdown) key by "name"; positional
+      // fallback keeps unnamed arrays streamable.
+      std::size_t index = 0;
+      for (const auto& child : v.as_array()) {
+        std::string key = std::to_string(index++);
+        if (child.is_object() && child.contains("name") && child.at("name").is_string()) {
+          key = child.at("name").as_string();
+        }
+        flatten_into(fields, prefix.empty() ? key : prefix + "." + key, child);
+      }
+    } else if (v.is_number()) {
+      fields[prefix] = v.is_int() ? static_cast<double>(v.as_int()) : v.as_double();
+    } else if (v.is_bool()) {
+      fields[prefix] = v.as_bool() ? 1.0 : 0.0;
+    }
+    // Strings and nulls carry no numeric field.
+  }
+
+  void emit_line() {
+    std::map<std::string, double> now = flatten(sampler_());
+    tsdb::Point point;
+    point.measurement = options_.measurement;
+    point.tags = options_.tags;
+    point.timestamp = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::system_clock::now().time_since_epoch())
+                          .count();
+    for (const auto& [key, value] : now) {
+      auto dot = key.rfind('.');
+      const std::string leaf = dot == std::string::npos ? key : key.substr(dot + 1);
+      if (options_.gauges.count(leaf)) {
+        point.fields[key] = value;
+      } else {
+        // Delta vs the previous window; a field first seen now (a lane that
+        // just appeared) deltas against zero.
+        auto prev = last_.find(key);
+        point.fields[key] = value - (prev != last_.end() ? prev->second : 0.0);
+      }
+    }
+    last_ = std::move(now);
+    if (point.fields.empty()) return;
+    std::string line = tsdb::to_line(point);
+    std::fprintf(options_.out, "%s\n", line.c_str());
+    std::fflush(options_.out);
+  }
+
+  void run() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      bool stopping = cv_.wait_for(lock, options_.interval, [&] { return stopped_; });
+      lock.unlock();
+      emit_line();  // on stop this is the final tail-window line
+      if (stopping) return;
+      lock.lock();
+    }
+  }
+
+  Sampler sampler_;
+  Options options_;
+  std::map<std::string, double> last_;  ///< streamer thread only
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace emlio::core

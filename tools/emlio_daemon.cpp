@@ -8,9 +8,11 @@
 //   emlio_daemon --data DIR --connect localhost:5555
 //       [--transport tcp|shm] [--shm-name emlio0] [--shm-slab-mb 4]
 //       [--batch 128] [--epochs 1] [--threads 2] [--streams 2] [--hwm 16]
-//       [--pool 0] [--prefetch 16] [--serial]
+//       [--pool 0] [--prefetch 16] [--serial] [--seed 1234]
 //       [--adaptive-pool] [--adaptive-min 1] [--adaptive-max 0]
-//       [--cache-mb 0] [--cache-policy clock|lru] [--stats-json PATH]
+//       [--lane-class interactive|bulk] [--lane-weight 1] [--lane-rate 0]
+//       [--cache-mb 0] [--cache-policy clock|lru]
+//       [--stats-json PATH] [--stats-interval SECS]
 //
 // --transport shm replaces the TCP connection with a shared-memory segment
 // (created by this daemon, unlinked at exit; --connect is then unused).
@@ -29,15 +31,23 @@
 // (0 max = auto); --pool then only sets the starting width.
 // --cache-mb gives the sample cache a byte budget (0 = off): record payloads
 // stay resident across epochs so warm epochs skip shard reads entirely;
-// --cache-policy picks its eviction policy. --stats-json dumps the final
-// DaemonStats (throughput + pipeline + cache counters) as a JSON file at
-// exit, so harnesses read structured results instead of scraping stdout.
+// --cache-policy picks its eviction policy. --seed sets the planner's
+// shuffle seed. --lane-class/--lane-weight/--lane-rate set the QoS
+// descriptor applied to every sink lane (class labels the tenant, weight is
+// its DWRR share of a contended encode pool, rate an items/sec cap at the
+// sender edge). --stats-json dumps the final DaemonStats (throughput +
+// pipeline + cache + per-lane counters) as a JSON file at exit, so
+// harnesses read structured results instead of scraping stdout;
+// --stats-interval streams per-window DaemonStats deltas to stdout as tsdb
+// line protocol while the run is live.
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "core/daemon.h"
 #include "core/planner.h"
+#include "core/stats_stream.h"
 #include "json/json.h"
 #include "net/push_pull.h"
 #include "net/shm_channel.h"
@@ -55,6 +65,10 @@ int main(int argc, char** argv) {
   bool serial = false, adaptive = false;
   std::uint32_t epochs = 1;
   std::uint64_t seed = 1234;
+  std::string lane_class = "interactive";
+  std::size_t lane_weight = 1;
+  std::uint64_t lane_rate = 0;
+  double stats_interval = 0.0;
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) std::exit(2);
@@ -77,16 +91,22 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--adaptive-min")) adaptive_min = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--adaptive-max")) adaptive_max = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--seed")) seed = std::strtoull(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--lane-class")) lane_class = next();
+    else if (!std::strcmp(argv[i], "--lane-weight")) lane_weight = std::strtoul(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--lane-rate")) lane_rate = std::strtoull(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--cache-mb")) cache_mb = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--cache-policy")) cache_policy = next();
     else if (!std::strcmp(argv[i], "--stats-json")) stats_json = next();
+    else if (!std::strcmp(argv[i], "--stats-interval")) stats_interval = std::strtod(next(), nullptr);
     else {
       std::fprintf(stderr, "usage: emlio_daemon --data DIR --connect HOST:PORT "
                            "[--transport tcp|shm] [--shm-name NAME] [--shm-slab-mb MB] "
                            "[--batch B] [--epochs E] [--threads T] [--streams S] [--hwm H] "
-                           "[--pool N] [--prefetch D] [--serial] "
+                           "[--pool N] [--prefetch D] [--serial] [--seed N] "
                            "[--adaptive-pool] [--adaptive-min N] [--adaptive-max N] "
-                           "[--cache-mb MB] [--cache-policy clock|lru] [--stats-json PATH]\n");
+                           "[--lane-class interactive|bulk] [--lane-weight W] [--lane-rate N] "
+                           "[--cache-mb MB] [--cache-policy clock|lru] "
+                           "[--stats-json PATH] [--stats-interval SECS]\n");
       return 2;
     }
   }
@@ -96,6 +116,13 @@ int main(int argc, char** argv) {
                  cache_policy.c_str());
     return 2;
   }
+  auto parsed_class = parse_lane_class(lane_class);
+  if (!parsed_class) {
+    std::fprintf(stderr, "emlio_daemon: unknown --lane-class '%s' (expected interactive or bulk)\n",
+                 lane_class.c_str());
+    return 2;
+  }
+  if (lane_weight == 0) lane_weight = 1;  // same clamp the library applies
   if (data.empty()) {
     std::fprintf(stderr, "emlio_daemon: --data is required\n");
     return 2;
@@ -169,9 +196,26 @@ int main(int argc, char** argv) {
     dc.adaptive_max_threads = adaptive_max;
     dc.cache_bytes = cache_mb << 20;
     dc.cache_policy = *policy;
+    dc.default_lane_qos.lane_class = *parsed_class;
+    dc.default_lane_qos.weight = static_cast<std::uint32_t>(lane_weight);
+    dc.default_lane_qos.rate_per_sec = lane_rate;
     core::Daemon daemon(dc, std::move(readers), sinks);
+    std::optional<core::StatsStreamer> streamer;
+    if (stats_interval > 0.0) {
+      core::StatsStreamer::Options so_stream;
+      so_stream.measurement = "emlio_daemon";
+      so_stream.tags = {{"daemon", dc.daemon_id}};
+      so_stream.interval =
+          std::chrono::milliseconds(static_cast<std::int64_t>(stats_interval * 1000.0));
+      so_stream.gauges = {"pool_threads_current", "pool_threads_peak", "queue_peak_depth",
+                          "cache_resident_bytes", "cache_resident_bytes_peak", "cache_entries",
+                          "weight", "rate_per_sec", "closed"};
+      streamer.emplace([&daemon] { return core::to_json(daemon.stats()); },
+                       std::move(so_stream));
+    }
     bool clean = daemon.serve(planner, /*num_nodes=*/1);
     sink->close();
+    streamer.reset();  // final tail-window line, then stop streaming
     auto stats = daemon.stats();
     std::printf("emlio_daemon: done — %llu batches, %llu samples, %.1f MB serialized\n",
                 static_cast<unsigned long long>(stats.batches_sent),

@@ -6,7 +6,8 @@
 //       [--transport tcp|shm] [--shm-name emlio0] [--shm-wait-ms 10000]
 //       [--decode-threads N] [--serial]
 //       [--adaptive-pool] [--adaptive-min 1] [--adaptive-max 0]
-//       [--stats-json PATH]
+//       [--lane-class interactive|bulk] [--lane-weight 1] [--lane-rate 0]
+//       [--stats-json PATH] [--stats-interval SECS]
 //
 // --transport shm attaches to the shared-memory segment a same-host
 // emlio_daemon --transport shm creates (names must match); the receiver
@@ -19,14 +20,21 @@
 // --adaptive-pool hands the decode pool's sizing to the stall-ratio governor
 // (grow on decode stalls, shrink on resequence stalls, within
 // [--adaptive-min, --adaptive-max], 0 max = auto); --decode-threads then only
-// sets the starting width and must be > 0. --stats-json dumps the final
-// ReceiverStats (throughput + decode-pipeline counters) as a JSON file at
-// exit, same contract as emlio_daemon --stats-json.
+// sets the starting width and must be > 0.
+// --lane-class/--lane-weight/--lane-rate set the QoS descriptor applied to
+// every source ingest lane (the weighted-fair dispatcher drains source lanes
+// DWRR; rate is an items/sec cap at the dispatch edge). --stats-json dumps
+// the final ReceiverStats (throughput + decode-pipeline + per-lane counters)
+// as a JSON file at exit, same contract as emlio_daemon --stats-json;
+// --stats-interval streams per-window ReceiverStats deltas to stdout as tsdb
+// line protocol while the run is live.
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "core/receiver.h"
+#include "core/stats_stream.h"
 #include "json/json.h"
 #include "net/push_pull.h"
 #include "net/shm_channel.h"
@@ -45,6 +53,10 @@ int main(int argc, char** argv) {
   std::size_t adaptive_min = 1, adaptive_max = 0;
   bool serial = false, adaptive = false;
   std::string stats_json;
+  std::string lane_class = "interactive";
+  std::size_t lane_weight = 1;
+  std::uint64_t lane_rate = 0;
+  double stats_interval = 0.0;
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) std::exit(2);
@@ -63,16 +75,29 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--adaptive-min")) adaptive_min = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--adaptive-max")) adaptive_max = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--stats-json")) stats_json = next();
+    else if (!std::strcmp(argv[i], "--lane-class")) lane_class = next();
+    else if (!std::strcmp(argv[i], "--lane-weight")) lane_weight = std::strtoul(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--lane-rate")) lane_rate = std::strtoull(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--stats-interval")) stats_interval = std::strtod(next(), nullptr);
     else {
       std::fprintf(stderr,
                    "usage: emlio_receive --port P [--senders N] [--epochs E] [--expected N] "
                    "[--transport tcp|shm] [--shm-name NAME] [--shm-wait-ms MS] "
                    "[--decode-threads N] [--serial] "
                    "[--adaptive-pool] [--adaptive-min N] [--adaptive-max N] "
-                   "[--stats-json PATH]\n");
+                   "[--lane-class interactive|bulk] [--lane-weight W] [--lane-rate N] "
+                   "[--stats-json PATH] [--stats-interval SECS]\n");
       return 2;
     }
   }
+  auto parsed_class = parse_lane_class(lane_class);
+  if (!parsed_class) {
+    std::fprintf(stderr,
+                 "emlio_receive: unknown --lane-class '%s' (expected interactive or bulk)\n",
+                 lane_class.c_str());
+    return 2;
+  }
+  if (lane_weight == 0) lane_weight = 1;  // same clamp the library applies
   if (serial) {
     decode_threads = 0;
     adaptive = false;  // the serial engine has no pool to govern
@@ -125,7 +150,21 @@ int main(int argc, char** argv) {
     rc.adaptive_pool = adaptive;
     rc.adaptive_min_threads = adaptive_min;
     rc.adaptive_max_threads = adaptive_max;
+    rc.default_lane_qos.lane_class = *parsed_class;
+    rc.default_lane_qos.weight = static_cast<std::uint32_t>(lane_weight);
+    rc.default_lane_qos.rate_per_sec = lane_rate;
     core::Receiver receiver(rc, std::move(source));
+    std::optional<core::StatsStreamer> streamer;
+    if (stats_interval > 0.0) {
+      core::StatsStreamer::Options so;
+      so.measurement = "emlio_receive";
+      so.tags = {{"receiver", "node0"}};
+      so.interval =
+          std::chrono::milliseconds(static_cast<std::int64_t>(stats_interval * 1000.0));
+      so.gauges = {"pool_threads_current", "pool_threads_peak", "queue_peak_depth",
+                   "weight", "rate_per_sec", "closed"};
+      streamer.emplace([&receiver] { return core::to_json(receiver.stats()); }, std::move(so));
+    }
 
     train::TrainerOptions topt;
     topt.expected_samples_per_epoch = expected;
@@ -147,6 +186,7 @@ int main(int argc, char** argv) {
       }
       trainer.train_step(*batch);
     }
+    streamer.reset();  // final tail-window line, then stop streaming
     receiver.close();  // closes its source (shm or the pull forwarder)
     if (pull) pull->close();
     auto stats = receiver.stats();

@@ -1,16 +1,22 @@
 #include "common/timestamp_logger.h"
 
+#include <unordered_map>
+
 namespace emlio {
 
 void TimestampLogger::record(std::string label, std::int64_t detail) {
   Nanos now = clock_->now();
   std::lock_guard<std::mutex> lock(mutex_);
+  if (capacity_ != 0 && events_.size() >= capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
   events_.push_back(Event{now, std::move(label), detail});
 }
 
 std::vector<TimestampLogger::Event> TimestampLogger::events() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return events_;
+  return {events_.begin(), events_.end()};
 }
 
 std::vector<TimestampLogger::Event> TimestampLogger::events_with_label(
@@ -33,6 +39,33 @@ Nanos TimestampLogger::span(const std::string& start, const std::string& end) co
   }
   if (first < 0 || last < 0 || last < first) return 0;
   return last - first;
+}
+
+obs::LatencyHistogram::Snapshot TimestampLogger::span_histogram(
+    const std::string& start, const std::string& end) const {
+  obs::LatencyHistogram hist;
+  std::lock_guard<std::mutex> lock(mutex_);
+  // FIFO of unmatched start timestamps per detail key: each end event pairs
+  // with the earliest open start carrying the same detail, so re-used batch
+  // ids (one per epoch) pair within their own epoch.
+  std::unordered_map<std::int64_t, std::deque<Nanos>> open;
+  for (const auto& e : events_) {
+    if (e.label == start) {
+      open[e.detail].push_back(e.timestamp);
+    } else if (e.label == end) {
+      auto it = open.find(e.detail);
+      if (it == open.end() || it->second.empty()) continue;
+      Nanos began = it->second.front();
+      it->second.pop_front();
+      if (e.timestamp >= began) hist.record(e.timestamp - began);
+    }
+  }
+  return hist.snapshot();
+}
+
+std::uint64_t TimestampLogger::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
 }
 
 std::size_t TimestampLogger::size() const {

@@ -5,13 +5,23 @@
 // the energy traces stored in the TSDB. Events carry a label, an optional
 // integer detail (batch id, byte count) and the timestamp from the injected
 // Clock so the logger works under both real and virtual time.
+//
+// The event store can be bounded: a capacity > 0 evicts the OLDEST events
+// once full (a sliding window over the run's tail) and counts what it
+// dropped, so a days-long daemon can keep a logger attached without the
+// vector growing without bound. The default stays unbounded for existing
+// callers. For distribution questions ("how long between send and receive,
+// at the tail?") use span_histogram, which folds matched event pairs into an
+// obs::LatencyHistogram snapshot with quantile support.
 #pragma once
 
+#include <deque>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "obs/latency_histogram.h"
 
 namespace emlio {
 
@@ -23,12 +33,15 @@ class TimestampLogger {
     std::int64_t detail;
   };
 
-  explicit TimestampLogger(const Clock& clock) : clock_(&clock) {}
+  /// capacity == 0 (default) keeps every event; capacity > 0 keeps only the
+  /// newest `capacity` events, evicting the oldest and counting the drops.
+  explicit TimestampLogger(const Clock& clock, std::size_t capacity = 0)
+      : clock_(&clock), capacity_(capacity) {}
 
   /// Record an event at the current clock time (thread-safe).
   void record(std::string label, std::int64_t detail = 0);
 
-  /// Snapshot of all events recorded so far, in record order.
+  /// Snapshot of all retained events, in record order.
   std::vector<Event> events() const;
 
   /// Events whose label matches exactly.
@@ -38,14 +51,28 @@ class TimestampLogger {
   /// `end`; 0 if either is missing.
   Nanos span(const std::string& start, const std::string& end) const;
 
+  /// Distribution of per-pair `start`→`end` durations, matched by detail
+  /// (e.g. "batch_send"/"batch_recv" keyed by batch id): each `end` event
+  /// pairs with the earliest unmatched `start` event carrying the same
+  /// detail. Returns a histogram snapshot — quantile(p)/mean()/count work on
+  /// it directly. Pairs spanning an evicted start are simply absent.
+  obs::LatencyHistogram::Snapshot span_histogram(const std::string& start,
+                                                 const std::string& end) const;
+
+  /// Events evicted to honour the capacity bound (0 when unbounded).
+  std::uint64_t dropped_events() const;
+
   std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
 
   void clear();
 
  private:
   const Clock* clock_;
+  const std::size_t capacity_;
   mutable std::mutex mutex_;
-  std::vector<Event> events_;
+  std::deque<Event> events_;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace emlio

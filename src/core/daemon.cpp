@@ -67,7 +67,10 @@ struct Daemon::SinkLane {
 Daemon::Daemon(DaemonConfig config, std::vector<tfrecord::ShardReader> readers,
                std::map<std::uint32_t, std::shared_ptr<net::MessageSink>> sinks,
                TimestampLogger* timestamps)
-    : config_(std::move(config)), sinks_(std::move(sinks)), timestamps_(timestamps) {
+    : config_(std::move(config)),
+      tracer_(obs::TracerConfig{config_.trace, config_.trace_ring}),
+      sinks_(std::move(sinks)),
+      timestamps_(timestamps) {
   for (auto& r : readers) {
     std::uint32_t id = r.index().shard_id;
     readers_.emplace(id, std::move(r));
@@ -133,6 +136,7 @@ DaemonStats Daemon::stats() const {
     s.pool_threads_peak = s.pool_threads_current;
   }
   if (cache_) s.cache = cache_->stats();
+  if (tracer_.enabled()) s.latency = tracer_.summaries();
   return s;
 }
 
@@ -163,6 +167,10 @@ json::Value to_json(const DaemonStats& s) {
   o["cache_resident_bytes_peak"] = s.cache.resident_bytes_peak;
   o["cache_entries"] = s.cache.entries;
   o["lanes"] = to_json(s.lanes);
+  // Nested per-stage quantile objects, present only when tracing — the
+  // default JSON schema is unchanged. StatsStreamer flattens these to
+  // latency.<stage>.{count,p50,p95,p99,max}; tools gauge the quantile leaves.
+  if (!s.latency.empty()) o["latency"] = obs::to_json(s.latency);
   return json::Value(std::move(o));
 }
 
@@ -355,16 +363,38 @@ bool Daemon::validate_plan(
 
 void Daemon::encode_job(SinkLane& lane, std::size_t seq) {
   OutboundBatch out;
+  obs::BatchTrace* tp = tracer_.enabled() ? &out.trace : nullptr;
   if (!lane.failed.load(std::memory_order_acquire)) {
     try {
-      msgpack::WireBatch batch = build_batch(lane.jobs[seq]);
+      msgpack::WireBatch batch;
+      {
+        // First boundary: begins the trace, attributes storage/cache time.
+        obs::StageTimer read(tp, obs::Stage::kRead);
+        batch = build_batch(lane.jobs[seq]);
+      }
       out.batch_id = batch.batch_id;
       out.nsamples = batch.samples.size();
+      if (tp) {
+        out.trace.epoch = batch.epoch;
+        out.trace.batch_id = batch.batch_id;
+        out.trace.node_id = batch.node_id;
+        out.trace.shard_id = batch.shard_id;
+        out.trace.nsamples = batch.samples.size();
+        // The origin stamp must be set BEFORE encode — it rides inside the
+        // serialized bytes.
+        if (config_.trace_wire) {
+          batch.trace_origin_ns = static_cast<std::uint64_t>(out.trace.start_ns);
+        }
+      }
       // Encode into a pooled buffer: the mmap'd record bytes are copied
       // once, into the serialized message; the Payload handle then moves
       // through the queue and sink copy-free and the buffer recycles when
       // the transport drops it.
-      out.payload = msgpack::BatchCodec::encode(batch, *pool_);
+      {
+        obs::StageTimer enc(tp, obs::Stage::kEncode);
+        out.payload = msgpack::BatchCodec::encode(batch, *pool_);
+      }
+      if (tp) out.trace.wire_bytes = out.payload.size();
     } catch (const std::exception& e) {
       record_error("encode worker (node " + std::to_string(lane.node_id) + ", batch " +
                    std::to_string(lane.jobs[seq].batch_id) + "): " + e.what());
@@ -472,14 +502,24 @@ void Daemon::sender_loop(SinkLane& lane, std::uint32_t epoch) {
     pump(lane);       // space just freed: refill while we spend time on the wire
     admit_more();
     std::uint64_t nbytes = msg->payload.size();
+    obs::BatchTrace* tp = msg->trace.active() ? &msg->trace : nullptr;
+    // Everything between encode-done and here — resequencer parking + queue
+    // residency + rate-limit throttling — is the lane-wait stage.
+    if (tp) tp->note(obs::Stage::kLaneWait, obs::now_ns());
     if (timestamps_) timestamps_->record("batch_send", static_cast<std::int64_t>(msg->batch_id));
-    if (!lane.sink->send(std::move(msg->payload))) {
+    bool sent;
+    {
+      obs::StageTimer wire(tp, obs::Stage::kWire);
+      sent = lane.sink->send(std::move(msg->payload));
+    }
+    if (!sent) {
       log::warn("daemon ", config_.daemon_id, ": sink for node ", lane.node_id,
                 " closed mid-epoch ", epoch);
       lane.failed.store(true, std::memory_order_release);
       lane.lane.close();  // unblocks producers; their pushes now reject
       return;
     }
+    if (tp) tracer_.complete(*tp);
     lane.lane.add_delivered_bytes(nbytes);
     batches_sent_.fetch_add(1, std::memory_order_relaxed);
     samples_sent_.fetch_add(msg->nsamples, std::memory_order_relaxed);
@@ -590,15 +630,42 @@ void Daemon::send_worker(const WorkerPlan& worker, std::uint32_t epoch,
 
   for (const auto& a : worker.batches) {
     if (!owns_shard(a.shard_id)) continue;  // another daemon's shard
-    msgpack::WireBatch batch = build_batch(a);
+    obs::BatchTrace trace;
+    obs::BatchTrace* tp = tracer_.enabled() ? &trace : nullptr;
+    msgpack::WireBatch batch;
+    {
+      obs::StageTimer read(tp, obs::Stage::kRead);
+      batch = build_batch(a);
+    }
     std::uint64_t nsamples = batch.samples.size();
-    Payload payload = msgpack::BatchCodec::encode(batch, *pool_);
+    if (tp) {
+      trace.epoch = batch.epoch;
+      trace.batch_id = batch.batch_id;
+      trace.node_id = batch.node_id;
+      trace.shard_id = batch.shard_id;
+      trace.nsamples = nsamples;
+      if (config_.trace_wire) {
+        batch.trace_origin_ns = static_cast<std::uint64_t>(trace.start_ns);
+      }
+    }
+    Payload payload;
+    {
+      obs::StageTimer enc(tp, obs::Stage::kEncode);
+      payload = msgpack::BatchCodec::encode(batch, *pool_);
+    }
     std::uint64_t nbytes = payload.size();
+    if (tp) trace.wire_bytes = nbytes;
     if (timestamps_) timestamps_->record("batch_send", static_cast<std::int64_t>(a.batch_id));
-    if (!sink.send(std::move(payload))) {
+    bool sent;
+    {
+      obs::StageTimer wire(tp, obs::Stage::kWire);
+      sent = sink.send(std::move(payload));
+    }
+    if (!sent) {
       log::warn("daemon ", config_.daemon_id, ": sink closed mid-epoch ", epoch);
       return;
     }
+    if (tp) tracer_.complete(trace);
     batches_sent_.fetch_add(1, std::memory_order_relaxed);
     samples_sent_.fetch_add(nsamples, std::memory_order_relaxed);
     bytes_sent_.fetch_add(nbytes, std::memory_order_relaxed);

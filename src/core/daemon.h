@@ -39,6 +39,7 @@
 #include "core/planner.h"
 #include "json/json.h"
 #include "msgpack/batch_codec.h"
+#include "obs/trace.h"
 #include "net/channel.h"
 #include "tfrecord/reader.h"
 
@@ -83,6 +84,18 @@ struct DaemonConfig {
   /// (see src/cache/sample_cache.h). Works under both engines.
   std::size_t cache_bytes = 0;
   cache::CachePolicy cache_policy = cache::CachePolicy::kClock;
+  /// Per-batch stage tracing (src/obs): every batch carries a stamp sheet
+  /// through read → encode → lane-wait → wire, folded into per-stage +
+  /// end-to-end latency histograms (DaemonStats::latency) and a ring of the
+  /// trace_ring slowest batches (Daemon::trace_json). Off by default; the
+  /// tracing-off path takes no clocks and allocates nothing
+  /// (bench_micro_trace enforces ≥95% tracing-on throughput).
+  bool trace = false;
+  std::size_t trace_ring = 16;
+  /// Also stamp the trace origin into each encoded batch (optional "t0" wire
+  /// key) so a same-host receiver can attribute queue+transit time to its
+  /// "wire" stage. OFF by default: default wire bytes are unchanged.
+  bool trace_wire = false;
 };
 
 // Stats counter convention (both engines, daemon AND receiver — this is the
@@ -130,6 +143,9 @@ struct DaemonStats {
   /// enqueue_stalls/sender_stalls/queue_peak_depth above are the aggregates
   /// of these (sum / sum / max).
   std::vector<LaneStats> lanes;
+  /// Per-stage latency quantiles (read/encode/lane_wait/wire + "e2e"), ns.
+  /// Empty unless DaemonConfig::trace.
+  std::vector<obs::StageSummary> latency;
 };
 
 /// Serialize the full stats block (throughput + pipeline + cache) as one
@@ -160,6 +176,11 @@ class Daemon {
 
   DaemonStats stats() const;
 
+  /// Slow-batch forensics dump (`--trace-dump`): the trace_ring slowest
+  /// completed batches with per-stage breakdowns, plus the stage quantiles.
+  /// `{"ring_capacity":K,"completed":N,"slowest":[...],"latency":{...}}`.
+  json::Value trace_json() const { return tracer_.ring_json(); }
+
   /// False once any epoch hit a validation or worker failure.
   bool ok() const;
   /// Description of the first failure ("" while ok()).
@@ -175,6 +196,8 @@ class Daemon {
     Payload payload;
     std::uint64_t batch_id = 0;
     std::uint64_t nsamples = 0;
+    /// Stamp sheet riding along the lane (inactive unless config_.trace).
+    obs::BatchTrace trace;
   };
   struct SinkLane;
   using NodeCounters = std::map<std::uint32_t, std::atomic<std::uint64_t>>;
@@ -206,6 +229,10 @@ class Daemon {
   PoolGovernor::Window sample_lane_window();
 
   DaemonConfig config_;
+  /// Stage-latency aggregation (histograms + slow-batch ring). Declared
+  /// before any thread-owning member so worker threads can fold completed
+  /// traces into it until they join.
+  obs::Tracer tracer_;
   std::map<std::uint32_t, tfrecord::ShardReader> readers_;
   std::map<std::uint32_t, std::shared_ptr<net::MessageSink>> sinks_;
   TimestampLogger* timestamps_;

@@ -27,6 +27,7 @@ Receiver::Receiver(ReceiverConfig config, std::unique_ptr<net::MessageSource> so
 Receiver::Receiver(ReceiverConfig config, std::vector<std::unique_ptr<net::MessageSource>> sources,
                    TimestampLogger* timestamps)
     : config_(config),
+      tracer_(obs::TracerConfig{config.trace, config.trace_ring}),
       sources_(std::move(sources)),
       timestamps_(timestamps),
       queue_(config.queue_capacity),
@@ -101,7 +102,7 @@ LaneQos Receiver::lane_qos_for_source(std::size_t index) const {
 }
 
 void Receiver::build_source_lanes() {
-  scheduler_ = std::make_unique<LaneScheduler<Payload>>();
+  scheduler_ = std::make_unique<LaneScheduler<Inbound>>();
   const std::size_t depth = std::max<std::size_t>(config_.ingest_lane_depth, 1);
   for (std::size_t i = 0; i < sources_.size(); ++i) {
     scheduler_->add_lane("src" + std::to_string(i), depth, lane_qos_for_source(i));
@@ -162,6 +163,7 @@ ReceiverStats Receiver::stats() const {
     s.pool_threads_peak = s.pool_threads_current;
   }
   if (scheduler_) s.lanes = scheduler_->stats();
+  if (tracer_.enabled()) s.latency = tracer_.summaries();
   return s;
 }
 
@@ -181,6 +183,8 @@ json::Value to_json(const ReceiverStats& s) {
   o["pool_threads_current"] = s.pool_threads_current;
   o["pool_threads_peak"] = s.pool_threads_peak;
   o["lanes"] = to_json(s.lanes);
+  // Present only when tracing — see the matching note on to_json(DaemonStats).
+  if (!s.latency.empty()) o["latency"] = obs::to_json(s.latency);
   return json::Value(std::move(o));
 }
 
@@ -298,17 +302,49 @@ void Receiver::finish_stage_member(bool is_ingest, bool delivery_held) {
   queue_.close();
 }
 
+namespace {
+
+/// Fill a receiver-side trace's identity from its decoded batch, and graft
+/// the sender's on-wire origin stamp (trace_wire) as an upstream "wire"
+/// stage — the trace then starts at the daemon's send decision, so e2e
+/// covers sender-queue residency + transit too (same-host steady clocks).
+void adopt_batch_identity(obs::BatchTrace& trace, const msgpack::WireBatch& batch,
+                          std::size_t wire_bytes) {
+  trace.epoch = batch.epoch;
+  trace.batch_id = batch.batch_id;
+  trace.node_id = batch.node_id;
+  trace.shard_id = batch.shard_id;
+  trace.nsamples = batch.samples.size();
+  trace.wire_bytes = wire_bytes;
+  trace.prepend(obs::Stage::kWire, static_cast<std::int64_t>(batch.trace_origin_ns));
+}
+
+}  // namespace
+
 // ------------------------------------------------------ legacy serial engine
 
 void Receiver::serial_loop(net::MessageSource& source) {
   for (;;) {
     auto payload = source.recv();
     if (!payload) break;  // transport closed
+    obs::BatchTrace trace;
+    obs::BatchTrace* tp = tracer_.enabled() ? &trace : nullptr;
+    if (tp) trace.begin(obs::now_ns());
     bool error = false;
-    auto batch = decode_payload(*payload, error);
+    msgpack::WireBatch batch;
+    {
+      obs::StageTimer dec(tp, obs::Stage::kDecode);
+      batch = decode_payload(*payload, error);
+    }
     if (!error) {
+      const bool traced = tp && !batch.last;  // sentinels are not data batches
+      if (traced) adopt_batch_identity(trace, batch, payload->size());
       std::lock_guard<std::mutex> delivery(delivery_mutex_);
       process_batch(std::move(batch), payload->size());
+      if (traced) {
+        trace.note(obs::Stage::kDeliver, obs::now_ns());
+        tracer_.complete(trace);
+      }
     }
   }
   finish_stage_member(/*is_ingest=*/true);
@@ -316,18 +352,23 @@ void Receiver::serial_loop(net::MessageSource& source) {
 
 // ------------------------------------------------- per-source lane engines
 
-void Receiver::ingest_loop(net::MessageSource& source, Lane<Payload>& lane) {
+void Receiver::ingest_loop(net::MessageSource& source, Lane<Inbound>& lane) {
   // Pull raw payloads off one source into its QoS lane. A full lane blocks
   // here (Lane::push counts the per-lane enqueue stall), which blocks the
   // transport, which blocks that daemon — per-source backpressure that never
   // touches the other lanes.
   while (auto payload = source.recv()) {
-    if (!lane.push(*payload)) {
+    Inbound in;
+    in.payload = std::move(*payload);
+    // The trace starts the moment the payload leaves the transport; lane
+    // residency accrues to the "ingest" stage at the dispatcher's pop.
+    if (tracer_.enabled()) in.trace.begin(obs::now_ns());
+    if (!lane.push(in)) {
       // Shutting down: the lane rejected a payload this thread already
       // pulled off the wire — without the count it would simply vanish
       // (received != delivered + dropped, and nobody would know why).
       // (Rejected pushes leave the payload in place, so it is inspectable.)
-      if (payload_is_data(*payload)) {
+      if (payload_is_data(in.payload)) {
         count_drop(1, "engine closed with a payload pulled off the wire mid-admission");
       }
       break;
@@ -343,13 +384,26 @@ void Receiver::serial_drain_loop() {
   // inline — one decode thread, like the old mux, but with DWRR arbitration
   // and per-lane accounting instead of one shared FIFO.
   while (auto item = scheduler_->pop()) {
-    const std::size_t wire_bytes = item->value.size();
+    const std::size_t wire_bytes = item->value.payload.size();
     scheduler_->lane(item->lane_index).add_delivered_bytes(wire_bytes);
+    obs::BatchTrace& trace = item->value.trace;
+    obs::BatchTrace* tp = trace.active() ? &trace : nullptr;
+    if (tp) trace.note(obs::Stage::kIngest, obs::now_ns());  // lane residency
     bool error = false;
-    auto batch = decode_payload(item->value, error);
+    msgpack::WireBatch batch;
+    {
+      obs::StageTimer dec(tp, obs::Stage::kDecode);
+      batch = decode_payload(item->value.payload, error);
+    }
     if (!error) {
+      const bool traced = tp && !batch.last;
+      if (traced) adopt_batch_identity(trace, batch, wire_bytes);
       std::lock_guard<std::mutex> delivery(delivery_mutex_);
       process_batch(std::move(batch), wire_bytes);
+      if (traced) {
+        trace.note(obs::Stage::kDeliver, obs::now_ns());
+        tracer_.complete(trace);
+      }
     }
   }
   finish_stage_member(/*is_ingest=*/true);
@@ -364,8 +418,13 @@ void Receiver::dispatch_loop() {
   // IS the delivery order, so per-lane streams stay in arrival order at
   // every weight — the scheduler only decides how lanes interleave.
   while (auto item = scheduler_->pop()) {
-    const std::size_t wire_bytes = item->value.size();
+    const std::size_t wire_bytes = item->value.payload.size();
     scheduler_->lane(item->lane_index).add_delivered_bytes(wire_bytes);
+    // Lane residency + DWRR arbitration end here; the window wait and the
+    // pool's run queue are the decode-wait stage, stamped in decode_job.
+    if (item->value.trace.active()) {
+      item->value.trace.note(obs::Stage::kIngest, obs::now_ns());
+    }
     std::uint64_t ticket = 0;
     {
       std::unique_lock<std::mutex> lock(window_mutex_);
@@ -379,11 +438,11 @@ void Receiver::dispatch_loop() {
         // then drain and account whatever is left in the lanes (closed
         // lanes never block), keeping pulled == delivered + dropped.
         lock.unlock();
-        if (payload_is_data(item->value)) {
+        if (payload_is_data(item->value.payload)) {
           count_drop(1, "engine closed with a payload pulled off the wire mid-admission");
         }
         while (auto rest = scheduler_->pop()) {
-          if (payload_is_data(rest->value)) {
+          if (payload_is_data(rest->value.payload)) {
             count_drop(1, "engine closed with a payload pulled off the wire mid-admission");
           }
         }
@@ -394,17 +453,26 @@ void Receiver::dispatch_loop() {
       // as admission keeps the two atomic per payload.
       ticket = next_ticket_++;
     }
-    decode_pool_->post([this, ticket, p = std::move(item->value)]() mutable {
-      decode_job(ticket, std::move(p));
+    decode_pool_->post([this, ticket, in = std::move(item->value)]() mutable {
+      decode_job(ticket, std::move(in));
     });
   }
   finish_stage_member(/*is_ingest=*/true);
 }
 
-void Receiver::decode_job(std::uint64_t ticket, Payload payload) {
+void Receiver::decode_job(std::uint64_t ticket, Inbound in) {
   Decoded decoded;
-  decoded.wire_bytes = payload.size();
-  decoded.batch = decode_payload(payload, decoded.error);
+  decoded.wire_bytes = in.payload.size();
+  obs::BatchTrace* tp = in.trace.active() ? &in.trace : nullptr;
+  if (tp) in.trace.note(obs::Stage::kDecodeWait, obs::now_ns());
+  {
+    obs::StageTimer dec(tp, obs::Stage::kDecode);
+    decoded.batch = decode_payload(in.payload, decoded.error);
+  }
+  if (tp && !decoded.error) {
+    adopt_batch_identity(in.trace, decoded.batch, decoded.wire_bytes);
+  }
+  decoded.trace = in.trace;
   // A failed decode still fills its ticket (as a tombstone) — the ordered
   // stream must never stall on a gap.
   bool in_order;
@@ -443,7 +511,17 @@ void Receiver::pump_delivery() {
 
 void Receiver::process_decoded(Decoded&& decoded) {
   // Caller holds delivery_mutex_.
-  if (!decoded.error) process_batch(std::move(decoded.batch), decoded.wire_bytes);
+  if (!decoded.error) {
+    obs::BatchTrace& trace = decoded.trace;
+    const bool traced = trace.active() && !decoded.batch.last;
+    // Time parked behind a ticket gap + waiting for the drainer.
+    if (traced) trace.note(obs::Stage::kResequence, obs::now_ns());
+    process_batch(std::move(decoded.batch), decoded.wire_bytes);
+    if (traced) {
+      trace.note(obs::Stage::kDeliver, obs::now_ns());
+      tracer_.complete(trace);
+    }
+  }
   // Delivered (or tombstoned): the window slot frees and ingest may admit
   // the next payload.
   finish_stage_member(/*is_ingest=*/false, /*delivery_held=*/true);

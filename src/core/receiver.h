@@ -54,6 +54,7 @@
 #include "json/json.h"
 #include "msgpack/batch_codec.h"
 #include "net/channel.h"
+#include "obs/trace.h"
 
 namespace emlio::core {
 
@@ -90,6 +91,16 @@ struct ReceiverConfig {
   /// Per-source overrides of default_lane_qos, indexed like `sources`.
   /// Shorter than `sources` is fine: missing entries use the default.
   std::vector<LaneQos> source_qos;
+  /// Per-batch stage tracing (src/obs): each received payload carries a
+  /// stamp sheet through ingest → decode-wait → decode → resequence →
+  /// deliver, folded into per-stage + end-to-end latency histograms
+  /// (ReceiverStats::latency) and a ring of the trace_ring slowest batches
+  /// (Receiver::trace_json). When the sending daemon runs with trace_wire,
+  /// the batch's on-wire origin stamp extends the trace backwards into a
+  /// "wire" stage (sender-queue residency + transit; same-host clocks).
+  /// Off by default; the tracing-off path takes no clocks.
+  bool trace = false;
+  std::size_t trace_ring = 16;
 };
 
 struct ReceiverStats {
@@ -126,6 +137,10 @@ struct ReceiverStats {
   /// multi-source fan-in); empty under the single-source serial engine,
   /// which has no lane stage.
   std::vector<LaneStats> lanes;
+  /// Per-stage latency quantiles (ingest/decode_wait/decode/resequence/
+  /// deliver, plus wire under trace_wire senders, plus "e2e"), ns. Empty
+  /// unless ReceiverConfig::trace.
+  std::vector<obs::StageSummary> latency;
 };
 
 /// Serialize the stats block as one flat JSON object (`emlio_receive
@@ -167,21 +182,33 @@ class Receiver {
   /// is drained.
   ReceiverStats stats() const;
 
+  /// Slow-batch forensics dump (`--trace-dump`): the trace_ring slowest
+  /// completed batches with per-stage breakdowns, plus the stage quantiles.
+  json::Value trace_json() const { return tracer_.ring_json(); }
+
  private:
+  /// One raw payload travelling through a source lane, with its stamp sheet
+  /// (inactive unless config_.trace — then the extra struct is dead weight
+  /// moved alongside the refcounted Payload handle, never copied bytes).
+  struct Inbound {
+    Payload payload;
+    obs::BatchTrace trace;
+  };
   /// One decode completion travelling through the sequencer.
   struct Decoded {
     msgpack::WireBatch batch;
     std::size_t wire_bytes = 0;
     bool error = false;  ///< tombstone: fills the ticket gap, delivers nothing
+    obs::BatchTrace trace;
   };
 
   void build_source_lanes();
-  void ingest_loop(net::MessageSource& source, Lane<Payload>& lane);
+  void ingest_loop(net::MessageSource& source, Lane<Inbound>& lane);
   void serial_loop(net::MessageSource& source);
   void dispatch_loop();
   void serial_drain_loop();
   LaneQos lane_qos_for_source(std::size_t index) const;
-  void decode_job(std::uint64_t ticket, Payload payload);
+  void decode_job(std::uint64_t ticket, Inbound in);
   msgpack::WireBatch decode_payload(const Payload& payload, bool& error);
   void pump_delivery();
   void process_decoded(Decoded&& decoded);
@@ -192,6 +219,10 @@ class Receiver {
   void count_drop(std::uint64_t n, const char* where);
 
   ReceiverConfig config_;
+  /// Stage-latency aggregation (histograms + slow-batch ring). Declared
+  /// before the threads and the decode pool so every worker can fold
+  /// completed traces into it until it stops.
+  obs::Tracer tracer_;
   std::vector<std::unique_ptr<net::MessageSource>> sources_;
   TimestampLogger* timestamps_;
   BoundedQueue<msgpack::WireBatch> queue_;
@@ -225,7 +256,7 @@ class Receiver {
   // Per-source ingest lanes + their weighted-fair drainer (pooled engine and
   // the serial multi-source fan-in — this replaced the hand-built payload
   // mux). Null under the single-source serial engine.
-  std::unique_ptr<LaneScheduler<Payload>> scheduler_;
+  std::unique_ptr<LaneScheduler<Inbound>> scheduler_;
 
   std::vector<std::thread> threads_;
 

@@ -114,6 +114,9 @@ void EmlioService::start() {
   dc.adaptive_interval_ms = config_.adaptive_interval_ms;
   dc.cache_bytes = config_.cache_bytes;
   dc.cache_policy = *cache::parse_policy(config_.cache_policy);  // validated in ctor
+  dc.trace = config_.trace;
+  dc.trace_ring = config_.trace_ring;
+  dc.trace_wire = config_.trace_wire;
   LaneQos qos;
   qos.lane_class = *parse_lane_class(config_.lane_class);  // validated in ctor
   qos.weight = std::max<std::uint32_t>(config_.lane_weight, 1);
@@ -130,6 +133,8 @@ void EmlioService::start() {
   rc.adaptive_max_threads = config_.adaptive_max_threads;
   rc.adaptive_interval_ms = config_.adaptive_interval_ms;
   rc.default_lane_qos = qos;
+  rc.trace = config_.trace;
+  rc.trace_ring = config_.trace_ring;
   if (config_.adaptive_pool && rc.decode_threads == 0) {
     // adaptive_pool asks for governed engines; the serial receiver has no
     // pool to govern, so start the pooled engine at the governor's floor
@@ -186,6 +191,14 @@ ServiceStats EmlioService::stats() const {
   if (daemon_) s.daemon = daemon_->stats();
   if (receiver_) s.receiver = receiver_->stats();
   return s;
+}
+
+json::Value EmlioService::daemon_trace_json() const {
+  return daemon_ ? daemon_->trace_json() : json::Value();
+}
+
+json::Value EmlioService::receiver_trace_json() const {
+  return receiver_ ? receiver_->trace_json() : json::Value();
 }
 
 }  // namespace emlio::core

@@ -75,6 +75,15 @@ struct ServiceConfig {
   std::string lane_class = "interactive";
   std::uint32_t lane_weight = 1;
   std::uint64_t lane_rate = 0;
+  /// Per-batch stage tracing on BOTH engines (src/obs): stage + end-to-end
+  /// latency histograms in stats().daemon.latency / .receiver.latency and
+  /// slow-batch rings behind Daemon/Receiver::trace_json. trace_wire also
+  /// stamps the daemon's send origin into the wire bytes (optional "t0"
+  /// codec key) so the receiver's trace covers queue+transit; leave it off
+  /// to keep the wire byte-identical to an untraced run.
+  bool trace = false;
+  std::size_t trace_ring = 16;
+  bool trace_wire = false;
   std::uint64_t seed = 1234;
   bool shuffle = true;
   bool verify_crc = false;
@@ -122,6 +131,10 @@ class EmlioService {
   std::uint64_t dataset_samples() const { return planner_->dataset_size(); }
   ServiceStats stats() const;
   TimestampLogger& timestamps() { return timestamps_; }
+  /// Slow-batch forensics (ServiceConfig::trace): each engine's trace_json.
+  /// Null JSON before start().
+  json::Value daemon_trace_json() const;
+  json::Value receiver_trace_json() const;
 
  private:
   ServiceConfig config_;

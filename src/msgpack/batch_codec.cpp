@@ -20,7 +20,7 @@ std::size_t WireBatch::payload_bytes() const {
 std::size_t BatchCodec::encode(const WireBatch& batch, ByteBuffer& out) {
   std::size_t start = out.size();
   Encoder enc(out);
-  enc.pack_map_header(8);
+  enc.pack_map_header(batch.trace_origin_ns ? 9 : 8);
   // Keys are emitted in sorted order to match Map-based decoding of other
   // msgpack implementations that normalize maps.
   enc.pack_string("batch");
@@ -43,6 +43,10 @@ std::size_t BatchCodec::encode(const WireBatch& batch, ByteBuffer& out) {
   }
   enc.pack_string("shard");
   enc.pack_uint(batch.shard_id);
+  if (batch.trace_origin_ns) {
+    enc.pack_string("t0");
+    enc.pack_uint(batch.trace_origin_ns);
+  }
   enc.pack_string("v");
   enc.pack_uint(kWireVersion);
   return out.size() - start;
@@ -106,7 +110,8 @@ WireBatch BatchCodec::decode(PayloadView bytes) {
   // but require every field of the v1 schema exactly once — a duplicated
   // "samples" key must not concatenate into a double-sized batch.
   bool have_v = false, have_epoch = false, have_batch = false, have_node = false,
-       have_shard = false, have_last = false, have_nsent = false, have_samples = false;
+       have_shard = false, have_last = false, have_nsent = false, have_samples = false,
+       have_t0 = false;
   auto once = [](bool& have, std::string_view key) {
     if (have) throw std::runtime_error("batch codec: duplicate key '" + std::string(key) + "'");
     have = true;
@@ -134,6 +139,11 @@ WireBatch BatchCodec::decode(PayloadView bytes) {
     } else if (key == "nsent") {
       batch.sent_count = dec.next_uint();
       once(have_nsent, key);
+    } else if (key == "t0") {
+      // Optional trace origin stamp — absent unless the sender runs with
+      // trace_wire. Dup-checked like the required keys but never required.
+      batch.trace_origin_ns = dec.next_uint();
+      once(have_t0, key);
     } else if (key == "samples") {
       std::size_t n = dec.next_array_header();
       batch.samples.reserve(std::min<std::size_t>(n, 1 << 16));

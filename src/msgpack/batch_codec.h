@@ -13,6 +13,9 @@
 //     "nsent":   uint              — sentinel only: batches this sender
 //                                    shipped for (node, epoch)
 //     "samples": [ [index, label, bin-bytes], ... ]
+//     "t0":      uint              — OPTIONAL: sender's trace-origin stamp
+//                                    (CLOCK_MONOTONIC ns), present only when
+//                                    the daemon runs with trace_wire
 //   }
 //
 // The sentinel batch carries zero samples, last=true and the sender's batch
@@ -55,6 +58,12 @@ struct WireBatch {
   std::uint32_t shard_id = 0;
   bool last = false;
   std::uint64_t sent_count = 0;  ///< sentinel only: sender's batch count
+  /// Daemon-side trace origin stamp (CLOCK_MONOTONIC ns), carried on the
+  /// wire as optional key "t0" ONLY when nonzero — the default encoding is
+  /// byte-identical to the pre-trace schema. Set by the daemon when
+  /// `trace_wire` is enabled so the receiver can attribute queue+transit
+  /// time; meaningful only between processes on the same host.
+  std::uint64_t trace_origin_ns = 0;
   std::vector<WireSample> samples;
 
   /// Total payload bytes across samples.

@@ -1,0 +1,136 @@
+#include "obs/latency_histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace emlio::obs {
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t value) {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(value));
+  const unsigned octave = msb - kSubBits + 1;
+  const std::uint64_t sub = (value >> (msb - kSubBits)) - kSubBuckets;
+  return static_cast<std::size_t>(octave) * kSubBuckets +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t LatencyHistogram::bucket_floor(std::size_t index) {
+  if (index < kSubBuckets) return index;
+  const std::size_t octave = index >> kSubBits;
+  const std::uint64_t sub = index & (kSubBuckets - 1);
+  return (kSubBuckets + sub) << (octave - 1);
+}
+
+std::uint64_t LatencyHistogram::bucket_mid(std::size_t index) {
+  const std::uint64_t lo = bucket_floor(index);
+  if (index + 1 >= kBucketCount) return lo;  // top bucket: floor would overflow
+  const std::uint64_t hi = bucket_floor(index + 1);
+  return lo + (hi - 1 - lo) / 2;
+}
+
+void LatencyHistogram::record(std::int64_t value_ns) {
+  const std::uint64_t v =
+      value_ns > 0 ? static_cast<std::uint64_t>(value_ns) : 0;
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t LatencyHistogram::max() const {
+  return count() ? max_.load(std::memory_order_relaxed) : 0;
+}
+
+std::uint64_t LatencyHistogram::min() const {
+  return count() ? min_.load(std::memory_order_relaxed) : 0;
+}
+
+double LatencyHistogram::Snapshot::quantile(double p) const {
+  if (count == 0) return 0.0;
+  if (p <= 0.0) return static_cast<double>(min);
+  if (p >= 1.0) return static_cast<double>(max);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(p * static_cast<double>(count))));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cum += buckets[i];
+    if (cum >= rank) {
+      const auto mid = static_cast<double>(bucket_mid(i));
+      return std::clamp(mid, static_cast<double>(min), static_cast<double>(max));
+    }
+  }
+  return static_cast<double>(max);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::Snapshot::delta(
+    const Snapshot& earlier) const {
+  Snapshot d;
+  d.buckets.resize(kBucketCount, 0);
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t now = i < buckets.size() ? buckets[i] : 0;
+    const std::uint64_t then = i < earlier.buckets.size() ? earlier.buckets[i] : 0;
+    d.buckets[i] = now >= then ? now - then : 0;
+  }
+  d.count = count >= earlier.count ? count - earlier.count : 0;
+  d.sum = sum >= earlier.sum ? sum - earlier.sum : 0;
+  d.max = max;
+  d.min = min;
+  return d;
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot s;
+  s.buckets.resize(kBucketCount);
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count();
+  s.sum = sum();
+  s.max = max();
+  s.min = min();
+  return s;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  if (other.count()) {
+    const std::uint64_t omax = other.max();
+    std::uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (omax > cur &&
+           !max_.compare_exchange_weak(cur, omax, std::memory_order_relaxed)) {
+    }
+    const std::uint64_t omin = other.min();
+    cur = min_.load(std::memory_order_relaxed);
+    while (omin < cur &&
+           !min_.compare_exchange_weak(cur, omin, std::memory_order_relaxed)) {
+    }
+  }
+}
+
+json::Value to_json(const LatencyHistogram::Snapshot& snap) {
+  json::Object o;
+  o["count"] = snap.count;
+  o["sum_ns"] = snap.sum;
+  o["mean_ns"] = snap.mean();
+  o["min_ns"] = snap.min;
+  o["max_ns"] = snap.max;
+  o["p50"] = snap.quantile(0.50);
+  o["p95"] = snap.quantile(0.95);
+  o["p99"] = snap.quantile(0.99);
+  return json::Value(std::move(o));
+}
+
+}  // namespace emlio::obs

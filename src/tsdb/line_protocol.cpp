@@ -1,6 +1,6 @@
 #include "tsdb/line_protocol.h"
 
-#include <cstdio>
+#include <charconv>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -69,8 +69,13 @@ std::string to_line(const Point& point) {
   for (const auto& [k, v] : point.fields) {
     if (!first) oss << ',';
     first = false;
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    oss << escape(k) << '=' << buf;
+    // Shortest round-trip form: from_line's stod parses it back to the exact
+    // same double, so export_file → import_file preserves fractional values
+    // bit-for-bit.
+    auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+    (void)ec;  // 40 bytes always fits a double's shortest form
+    oss << escape(k) << '=';
+    oss.write(buf, end - buf);
   }
   oss << ' ' << point.timestamp;
   return oss.str();

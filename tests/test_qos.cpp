@@ -540,5 +540,76 @@ TEST(StatsStreamer, StreamsDeltasAndGaugesAsLineProtocol) {
   }
 }
 
+TEST(StatsStreamer, FlattensNestedLatencyQuantileObjects) {
+  // The stats JSON of a traced engine nests per-stage quantile objects
+  // under "latency"; they must flatten to '.'-separated numeric fields so
+  // the tools can stream them.
+  json::Object decode;
+  decode["count"] = std::uint64_t{42};
+  decode["p50"] = 1500.0;
+  decode["p99"] = 9000.0;
+  decode["max"] = 12000.0;
+  json::Object latency;
+  latency["decode"] = decode;
+  json::Object root;
+  root["batches_received"] = std::uint64_t{42};
+  root["latency"] = std::move(latency);
+
+  auto fields = StatsStreamer::flatten(json::Value(std::move(root)));
+  EXPECT_EQ(fields.at("latency.decode.count"), 42.0);
+  EXPECT_EQ(fields.at("latency.decode.p50"), 1500.0);
+  EXPECT_EQ(fields.at("latency.decode.p99"), 9000.0);
+  EXPECT_EQ(fields.at("latency.decode.max"), 12000.0);
+}
+
+TEST(StatsStreamer, QuantileLeavesStreamAsGaugesNotDeltas) {
+  // Matching the tools' gauge sets: "p50"/"p95"/"p99"/"max" leaves must
+  // stream as-is every window, while sibling counters are delta-encoded.
+  char* buffer = nullptr;
+  std::size_t buffer_len = 0;
+  std::FILE* out = open_memstream(&buffer, &buffer_len);
+  ASSERT_NE(out, nullptr);
+  {
+    int calls = 0;
+    StatsStreamer::Options so;
+    so.measurement = "trace_test";
+    so.interval = 5ms;
+    so.gauges = {"p50", "p95", "p99", "max"};
+    so.out = out;
+    StatsStreamer streamer(
+        [&calls]() mutable {
+          ++calls;
+          json::Object e2e;
+          e2e["count"] = static_cast<std::uint64_t>(calls * 3);  // +3 per window
+          e2e["p50"] = 2500.0;                                   // gauge
+          e2e["max"] = 80000.0;                                  // gauge
+          json::Object latency;
+          latency["e2e"] = std::move(e2e);
+          json::Object o;
+          o["latency"] = std::move(latency);
+          return json::Value(std::move(o));
+        },
+        std::move(so));
+    std::this_thread::sleep_for(30ms);
+  }
+  std::fclose(out);
+  std::string text(buffer, buffer_len);
+  free(buffer);
+
+  std::size_t lines = 0;
+  for (char ch : text) lines += ch == '\n';
+  ASSERT_GE(lines, 2u);
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    auto end = text.find('\n', pos);
+    std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    // The count leaf deltas to +3; the quantile leaves pass through.
+    EXPECT_NE(line.find("latency.e2e.count=3"), std::string::npos) << line;
+    EXPECT_NE(line.find("latency.e2e.p50=2500"), std::string::npos) << line;
+    EXPECT_NE(line.find("latency.e2e.max=80000"), std::string::npos) << line;
+  }
+}
+
 }  // namespace
 }  // namespace emlio

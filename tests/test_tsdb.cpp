@@ -131,6 +131,39 @@ TEST(LineProtocol, ParseRoundTrip) {
   EXPECT_EQ(back, p);
 }
 
+TEST(LineProtocol, FractionalFieldsRoundTripExactly) {
+  // Values with no finite decimal representation must survive
+  // to_line → from_line bit-for-bit (shortest round-trip formatting).
+  const double values[] = {0.1, 1.0 / 3.0, 2.5000000000000004, 1e-300,
+                           123456.789012345678, 0.30000000000000004};
+  for (double v : values) {
+    Point p = make_point("n0", 7, v);
+    Point back = from_line(to_line(p));
+    ASSERT_EQ(back.fields.size(), 1u);
+    EXPECT_EQ(back.fields.at("cpu_energy"), v) << "value " << v;
+    EXPECT_EQ(back, p);
+  }
+}
+
+TEST(LineProtocol, FileRoundTripPreservesFractionalValues) {
+  namespace fs = std::filesystem;
+  auto dir = fs::temp_directory_path() / "emlio_tsdb_frac_test";
+  fs::create_directories(dir);
+  auto path = (dir / "frac.lp").string();
+
+  Database db;
+  db.write(make_point("n0", 1, 0.1, 1.0 / 3.0));
+  db.write(make_point("n0", 2, 0.30000000000000004));
+  Query all;
+  all.measurement = "energy";
+  export_file(db, all, path);
+
+  Database db2;
+  ASSERT_EQ(import_file(db2, path), 2u);
+  EXPECT_EQ(db2.select(all), db.select(all));  // exact Point equality
+  fs::remove_all(dir);
+}
+
 TEST(LineProtocol, ParseErrors) {
   EXPECT_THROW(from_line("just-a-measurement"), std::runtime_error);
   EXPECT_THROW(from_line("m f=notanumber 1"), std::runtime_error);

@@ -13,6 +13,7 @@
 //       [--lane-class interactive|bulk] [--lane-weight 1] [--lane-rate 0]
 //       [--cache-mb 0] [--cache-policy clock|lru]
 //       [--stats-json PATH] [--stats-interval SECS]
+//       [--trace] [--trace-ring 16] [--trace-wire] [--trace-dump PATH]
 //
 // --transport shm replaces the TCP connection with a shared-memory segment
 // (created by this daemon, unlinked at exit; --connect is then unused).
@@ -40,6 +41,15 @@
 // harnesses read structured results instead of scraping stdout;
 // --stats-interval streams per-window DaemonStats deltas to stdout as tsdb
 // line protocol while the run is live.
+// --trace stamps every batch through read → encode → lane-wait → wire and
+// folds the stamps into per-stage latency histograms: quantiles land in the
+// stats JSON (latency.<stage>.{p50,p95,p99,max}), stream as gauges under
+// --stats-interval, and the --trace-ring slowest batches dump as JSON via
+// --trace-dump PATH at exit (--trace-dump implies --trace). --trace-wire
+// additionally stamps the send origin into each batch's wire bytes
+// (optional "t0" codec key) so a same-host emlio_receive --trace can
+// attribute sender-queue + transit time; it changes the wire bytes, so
+// leave it off when byte-identical runs matter.
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -69,6 +79,9 @@ int main(int argc, char** argv) {
   std::size_t lane_weight = 1;
   std::uint64_t lane_rate = 0;
   double stats_interval = 0.0;
+  bool trace = false, trace_wire = false;
+  std::size_t trace_ring = 16;
+  std::string trace_dump;
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) std::exit(2);
@@ -98,6 +111,10 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--cache-policy")) cache_policy = next();
     else if (!std::strcmp(argv[i], "--stats-json")) stats_json = next();
     else if (!std::strcmp(argv[i], "--stats-interval")) stats_interval = std::strtod(next(), nullptr);
+    else if (!std::strcmp(argv[i], "--trace")) trace = true;
+    else if (!std::strcmp(argv[i], "--trace-ring")) trace_ring = std::strtoul(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--trace-wire")) trace_wire = true;
+    else if (!std::strcmp(argv[i], "--trace-dump")) trace_dump = next();
     else {
       std::fprintf(stderr, "usage: emlio_daemon --data DIR --connect HOST:PORT "
                            "[--transport tcp|shm] [--shm-name NAME] [--shm-slab-mb MB] "
@@ -106,7 +123,8 @@ int main(int argc, char** argv) {
                            "[--adaptive-pool] [--adaptive-min N] [--adaptive-max N] "
                            "[--lane-class interactive|bulk] [--lane-weight W] [--lane-rate N] "
                            "[--cache-mb MB] [--cache-policy clock|lru] "
-                           "[--stats-json PATH] [--stats-interval SECS]\n");
+                           "[--stats-json PATH] [--stats-interval SECS] "
+                           "[--trace] [--trace-ring K] [--trace-wire] [--trace-dump PATH]\n");
       return 2;
     }
   }
@@ -199,6 +217,10 @@ int main(int argc, char** argv) {
     dc.default_lane_qos.lane_class = *parsed_class;
     dc.default_lane_qos.weight = static_cast<std::uint32_t>(lane_weight);
     dc.default_lane_qos.rate_per_sec = lane_rate;
+    if (!trace_dump.empty()) trace = true;  // a dump without tracing is empty
+    dc.trace = trace;
+    dc.trace_ring = trace_ring;
+    dc.trace_wire = trace_wire;
     core::Daemon daemon(dc, std::move(readers), sinks);
     std::optional<core::StatsStreamer> streamer;
     if (stats_interval > 0.0) {
@@ -209,7 +231,11 @@ int main(int argc, char** argv) {
           std::chrono::milliseconds(static_cast<std::int64_t>(stats_interval * 1000.0));
       so_stream.gauges = {"pool_threads_current", "pool_threads_peak", "queue_peak_depth",
                           "cache_resident_bytes", "cache_resident_bytes_peak", "cache_entries",
-                          "weight", "rate_per_sec", "closed"};
+                          "weight", "rate_per_sec", "closed",
+                          // latency.<stage>.* quantiles are point-in-time
+                          // distributions, not monotone counters — stream
+                          // them as-is (the live latency timeline).
+                          "p50", "p95", "p99", "max"};
       streamer.emplace([&daemon] { return core::to_json(daemon.stats()); },
                        std::move(so_stream));
     }
@@ -251,6 +277,19 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(stats.cache.evictions),
                   static_cast<unsigned long long>(stats.cache.pinned_skips),
                   static_cast<double>(stats.cache.resident_bytes_peak) / 1e6);
+    }
+    if (trace) {
+      for (const auto& row : stats.latency) {
+        std::printf("emlio_daemon: latency %-10s — p50 %.3f ms, p95 %.3f ms, "
+                    "p99 %.3f ms, max %.3f ms (%llu batches)\n",
+                    row.stage.c_str(), row.p50_ns / 1e6, row.p95_ns / 1e6,
+                    row.p99_ns / 1e6, row.max_ns / 1e6,
+                    static_cast<unsigned long long>(row.count));
+      }
+    }
+    if (!trace_dump.empty()) {
+      json::write_file(trace_dump, daemon.trace_json());
+      std::printf("emlio_daemon: slow-batch traces written to %s\n", trace_dump.c_str());
     }
     if (!stats_json.empty()) {
       json::write_file(stats_json, core::to_json(stats));

@@ -8,6 +8,7 @@
 //       [--adaptive-pool] [--adaptive-min 1] [--adaptive-max 0]
 //       [--lane-class interactive|bulk] [--lane-weight 1] [--lane-rate 0]
 //       [--stats-json PATH] [--stats-interval SECS]
+//       [--trace] [--trace-ring 16] [--trace-dump PATH]
 //
 // --transport shm attaches to the shared-memory segment a same-host
 // emlio_daemon --transport shm creates (names must match); the receiver
@@ -28,6 +29,15 @@
 // as a JSON file at exit, same contract as emlio_daemon --stats-json;
 // --stats-interval streams per-window ReceiverStats deltas to stdout as tsdb
 // line protocol while the run is live.
+// --trace stamps every batch through ingest → decode-wait → decode →
+// resequence → deliver and folds the stamps into per-stage latency
+// histograms: quantiles land in the stats JSON
+// (latency.<stage>.{p50,p95,p99,max}), stream as gauges under
+// --stats-interval, and the --trace-ring slowest batches dump as JSON via
+// --trace-dump PATH at exit (--trace-dump implies --trace). When the daemon
+// runs with --trace-wire, each trace extends back to the sender's send
+// decision (a "wire" stage: sender-queue residency + transit — same-host
+// steady clocks).
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -57,6 +67,9 @@ int main(int argc, char** argv) {
   std::size_t lane_weight = 1;
   std::uint64_t lane_rate = 0;
   double stats_interval = 0.0;
+  bool trace = false;
+  std::size_t trace_ring = 16;
+  std::string trace_dump;
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) std::exit(2);
@@ -79,6 +92,9 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--lane-weight")) lane_weight = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--lane-rate")) lane_rate = std::strtoull(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--stats-interval")) stats_interval = std::strtod(next(), nullptr);
+    else if (!std::strcmp(argv[i], "--trace")) trace = true;
+    else if (!std::strcmp(argv[i], "--trace-ring")) trace_ring = std::strtoul(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--trace-dump")) trace_dump = next();
     else {
       std::fprintf(stderr,
                    "usage: emlio_receive --port P [--senders N] [--epochs E] [--expected N] "
@@ -86,7 +102,8 @@ int main(int argc, char** argv) {
                    "[--decode-threads N] [--serial] "
                    "[--adaptive-pool] [--adaptive-min N] [--adaptive-max N] "
                    "[--lane-class interactive|bulk] [--lane-weight W] [--lane-rate N] "
-                   "[--stats-json PATH] [--stats-interval SECS]\n");
+                   "[--stats-json PATH] [--stats-interval SECS] "
+                   "[--trace] [--trace-ring K] [--trace-dump PATH]\n");
       return 2;
     }
   }
@@ -153,6 +170,9 @@ int main(int argc, char** argv) {
     rc.default_lane_qos.lane_class = *parsed_class;
     rc.default_lane_qos.weight = static_cast<std::uint32_t>(lane_weight);
     rc.default_lane_qos.rate_per_sec = lane_rate;
+    if (!trace_dump.empty()) trace = true;  // a dump without tracing is empty
+    rc.trace = trace;
+    rc.trace_ring = trace_ring;
     core::Receiver receiver(rc, std::move(source));
     std::optional<core::StatsStreamer> streamer;
     if (stats_interval > 0.0) {
@@ -162,7 +182,9 @@ int main(int argc, char** argv) {
       so.interval =
           std::chrono::milliseconds(static_cast<std::int64_t>(stats_interval * 1000.0));
       so.gauges = {"pool_threads_current", "pool_threads_peak", "queue_peak_depth",
-                   "weight", "rate_per_sec", "closed"};
+                   "weight", "rate_per_sec", "closed",
+                   // latency.<stage>.* quantiles stream as-is, not as deltas.
+                   "p50", "p95", "p99", "max"};
       streamer.emplace([&receiver] { return core::to_json(receiver.stats()); }, std::move(so));
     }
 
@@ -208,6 +230,19 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(stats.pool_resizes),
                   static_cast<unsigned long long>(stats.pool_threads_current),
                   static_cast<unsigned long long>(stats.pool_threads_peak));
+    }
+    if (trace) {
+      for (const auto& row : stats.latency) {
+        std::printf("emlio_receive: latency %-11s — p50 %.3f ms, p95 %.3f ms, "
+                    "p99 %.3f ms, max %.3f ms (%llu batches)\n",
+                    row.stage.c_str(), row.p50_ns / 1e6, row.p95_ns / 1e6,
+                    row.p99_ns / 1e6, row.max_ns / 1e6,
+                    static_cast<unsigned long long>(row.count));
+      }
+    }
+    if (!trace_dump.empty()) {
+      json::write_file(trace_dump, receiver.trace_json());
+      std::printf("emlio_receive: slow-batch traces written to %s\n", trace_dump.c_str());
     }
     if (!stats_json.empty()) {
       json::write_file(stats_json, core::to_json(stats));

@@ -70,7 +70,7 @@ Receiver::Receiver(ReceiverConfig config, std::vector<std::unique_ptr<net::Messa
     ingest_active_ = 1;  // the dispatcher below is the window's one feeder
     for (std::size_t i = 0; i < sources_.size(); ++i) {
       threads_.emplace_back([this, src = sources_[i].get(), i] {
-        ingest_loop(*src, scheduler_->lane(i));
+        ingest_loop(*src, scheduler_->lane(i), i);
       });
     }
     threads_.emplace_back([this] { dispatch_loop(); });
@@ -87,7 +87,7 @@ Receiver::Receiver(ReceiverConfig config, std::vector<std::unique_ptr<net::Messa
     ingest_active_ = 1;  // the single drain thread below
     for (std::size_t i = 0; i < sources_.size(); ++i) {
       threads_.emplace_back([this, src = sources_[i].get(), i] {
-        ingest_loop(*src, scheduler_->lane(i));
+        ingest_loop(*src, scheduler_->lane(i), i);
       });
     }
     threads_.emplace_back([this] { serial_drain_loop(); });
@@ -153,6 +153,8 @@ ReceiverStats Receiver::stats() const {
   s.queue_peak_depth = queue_.peak_depth();
   s.decode_ns = decode_ns_.load(std::memory_order_relaxed);
   s.dropped_on_close = dropped_on_close_.load(std::memory_order_relaxed);
+  s.epochs_repaired = epochs_repaired_.load(std::memory_order_relaxed);
+  s.dropped_dead_sender = dropped_dead_sender_.load(std::memory_order_relaxed);
   if (governor_) {
     auto g = governor_->stats();
     s.pool_resizes = g.resizes;
@@ -179,6 +181,8 @@ json::Value to_json(const ReceiverStats& s) {
   o["queue_peak_depth"] = s.queue_peak_depth;
   o["decode_ns"] = s.decode_ns;
   o["dropped_on_close"] = s.dropped_on_close;
+  o["epochs_repaired"] = s.epochs_repaired;
+  o["dropped_dead_sender"] = s.dropped_dead_sender;
   o["pool_resizes"] = s.pool_resizes;
   o["pool_threads_current"] = s.pool_threads_current;
   o["pool_threads_peak"] = s.pool_threads_peak;
@@ -211,7 +215,16 @@ msgpack::WireBatch Receiver::decode_payload(const Payload& payload, bool& error)
   return batch;
 }
 
-void Receiver::process_batch(msgpack::WireBatch&& batch, std::size_t wire_bytes) {
+std::uint32_t Receiver::sender_for_source(std::size_t source_index) const {
+  // One source per sender (including the trivial 1:1 case) makes the source
+  // index a sound sender id; a single source muxing several senders has no
+  // per-sender identity on the wire, so the epoch algebra runs anonymous.
+  if (sources_.size() == config_.num_senders) return static_cast<std::uint32_t>(source_index);
+  return EpochSequencer<msgpack::WireBatch>::kUnattributed;
+}
+
+void Receiver::process_batch(msgpack::WireBatch&& batch, std::size_t wire_bytes,
+                             std::uint32_t sender) {
   // Caller holds delivery_mutex_: the epoch algebra and the queue pushes it
   // triggers run strictly one batch at a time, in sequence order.
   auto on_data = [this](msgpack::WireBatch&& ready) { emit(std::move(ready)); };
@@ -221,7 +234,7 @@ void Receiver::process_batch(msgpack::WireBatch&& batch, std::size_t wire_bytes)
     emit(msgpack::BatchCodec::make_sentinel(0, epoch, expected));
   };
   if (batch.last) {
-    epochs_.sentinel(batch.epoch, batch.sent_count, on_data, on_marker);
+    epochs_.sentinel(batch.epoch, sender, batch.sent_count, on_data, on_marker);
   } else {
     batches_received_.fetch_add(1, std::memory_order_relaxed);
     samples_received_.fetch_add(batch.samples.size(), std::memory_order_relaxed);
@@ -229,8 +242,69 @@ void Receiver::process_batch(msgpack::WireBatch&& batch, std::size_t wire_bytes)
     if (timestamps_) {
       timestamps_->record("batch_recv", static_cast<std::int64_t>(batch.batch_id));
     }
-    epochs_.data(batch.epoch, std::move(batch), on_data, on_marker);
+    epochs_.data(batch.epoch, sender, std::move(batch), on_data, on_marker);
   }
+  sync_epoch_telemetry_locked();
+}
+
+void Receiver::apply_sender_note_locked(Note note, std::uint32_t sender) {
+  // Caller holds delivery_mutex_. A death may complete epochs the dead
+  // sender was holding back, so it gets the same delivery callbacks as a
+  // batch.
+  auto on_data = [this](msgpack::WireBatch&& ready) { emit(std::move(ready)); };
+  auto on_marker = [this](std::uint32_t epoch, std::uint64_t expected) {
+    epochs_completed_.fetch_add(1, std::memory_order_relaxed);
+    if (timestamps_) timestamps_->record("epoch_complete", epoch);
+    emit(msgpack::BatchCodec::make_sentinel(0, epoch, expected));
+  };
+  if (note == Note::kSenderDead) {
+    log::warn("receiver: sender ", sender, " declared dead; repairing in-flight epochs");
+    epochs_.sender_dead(sender, on_data, on_marker);
+  } else if (note == Note::kSenderRevived) {
+    log::info("receiver: sender ", sender, " revived; epochs wait for it again");
+    epochs_.sender_revived(sender);
+  }
+  sync_epoch_telemetry_locked();
+}
+
+void Receiver::sync_epoch_telemetry_locked() {
+  epochs_repaired_.store(epochs_.epochs_repaired(), std::memory_order_relaxed);
+  const std::uint64_t stale = epochs_.stale_drops();
+  if (stale != dropped_dead_sender_.load(std::memory_order_relaxed)) {
+    dropped_dead_sender_.store(stale, std::memory_order_relaxed);
+    if (!dead_drop_logged_.exchange(true, std::memory_order_relaxed)) {
+      log::warn("receiver: dropping batch(es) re-sent for epochs already repaired after a "
+                "sender death; counting in ReceiverStats::dropped_dead_sender");
+    }
+  }
+}
+
+void Receiver::post_sender_note(std::size_t source_index, Note note) {
+  if (source_index >= sources_.size()) return;
+  const std::uint32_t sender = sender_for_source(source_index);
+  if (scheduler_) {
+    // Ride the source's lane so the declaration is ordered behind every
+    // payload the source already delivered — death must not stale-drop the
+    // dead sender's own in-flight tail.
+    Inbound in;
+    in.note = note;
+    in.sender = sender;
+    if (scheduler_->lane(source_index).push(in)) return;
+    // Lane closed: the source's stream already ended, nothing of it is in
+    // front of us — fall through and apply directly.
+  }
+  std::lock_guard<std::mutex> delivery(delivery_mutex_);
+  apply_sender_note_locked(note, sender);
+}
+
+void Receiver::note_sender_dead(std::size_t source_index) {
+  if (closed_.load(std::memory_order_acquire)) return;
+  post_sender_note(source_index, Note::kSenderDead);
+}
+
+void Receiver::note_sender_revived(std::size_t source_index) {
+  if (closed_.load(std::memory_order_acquire)) return;
+  post_sender_note(source_index, Note::kSenderRevived);
 }
 
 void Receiver::emit(msgpack::WireBatch&& batch) {
@@ -294,6 +368,22 @@ void Receiver::finish_stage_member(bool is_ingest, bool delivery_held) {
   {
     std::unique_lock<std::mutex> delivery(delivery_mutex_, std::defer_lock);
     if (!delivery_held) delivery.lock();
+    if (!closed_.load(std::memory_order_acquire)) {
+      // The stream ended on its own (every source finished — cleanly or
+      // dead), not by a local close: nothing further can arrive, so run the
+      // end-of-stream repair. Epochs with direct evidence complete degraded
+      // and their held batches deliver instead of leaking.
+      auto on_data = [this](msgpack::WireBatch&& ready) { emit(std::move(ready)); };
+      auto on_marker = [this](std::uint32_t epoch, std::uint64_t expected) {
+        epochs_completed_.fetch_add(1, std::memory_order_relaxed);
+        if (timestamps_) timestamps_->record("epoch_complete", epoch);
+        emit(msgpack::BatchCodec::make_sentinel(0, epoch, expected));
+      };
+      epochs_.finish(on_data, on_marker);
+      sync_epoch_telemetry_locked();
+    }
+    // A locally closed receiver skips the repair: whatever is still held
+    // counts as shutdown fallout, exactly as before.
     std::size_t held = epochs_.held_count();
     if (held > 0) {
       count_drop(held, "stream ended with decoded batch(es) held for incomplete epochs");
@@ -324,6 +414,7 @@ void adopt_batch_identity(obs::BatchTrace& trace, const msgpack::WireBatch& batc
 // ------------------------------------------------------ legacy serial engine
 
 void Receiver::serial_loop(net::MessageSource& source) {
+  const std::uint32_t sender = sender_for_source(0);
   for (;;) {
     auto payload = source.recv();
     if (!payload) break;  // transport closed
@@ -340,26 +431,36 @@ void Receiver::serial_loop(net::MessageSource& source) {
       const bool traced = tp && !batch.last;  // sentinels are not data batches
       if (traced) adopt_batch_identity(trace, batch, payload->size());
       std::lock_guard<std::mutex> delivery(delivery_mutex_);
-      process_batch(std::move(batch), payload->size());
+      process_batch(std::move(batch), payload->size(), sender);
       if (traced) {
         trace.note(obs::Stage::kDeliver, obs::now_ns());
         tracer_.complete(trace);
       }
     }
   }
+  if (!closed_.load(std::memory_order_acquire) &&
+      source.end_state() == net::SourceEnd::kDeadPeer) {
+    // The stream ended because the peer died (and any reconnect window was
+    // exhausted), not because the sender closed: repair its epochs.
+    std::lock_guard<std::mutex> delivery(delivery_mutex_);
+    apply_sender_note_locked(Note::kSenderDead, sender);
+  }
   finish_stage_member(/*is_ingest=*/true);
 }
 
 // ------------------------------------------------- per-source lane engines
 
-void Receiver::ingest_loop(net::MessageSource& source, Lane<Inbound>& lane) {
+void Receiver::ingest_loop(net::MessageSource& source, Lane<Inbound>& lane,
+                           std::size_t source_index) {
   // Pull raw payloads off one source into its QoS lane. A full lane blocks
   // here (Lane::push counts the per-lane enqueue stall), which blocks the
   // transport, which blocks that daemon — per-source backpressure that never
   // touches the other lanes.
+  const std::uint32_t sender = sender_for_source(source_index);
   while (auto payload = source.recv()) {
     Inbound in;
     in.payload = std::move(*payload);
+    in.sender = sender;
     // The trace starts the moment the payload leaves the transport; lane
     // residency accrues to the "ingest" stage at the dispatcher's pop.
     if (tracer_.enabled()) in.trace.begin(obs::now_ns());
@@ -374,6 +475,15 @@ void Receiver::ingest_loop(net::MessageSource& source, Lane<Inbound>& lane) {
       break;
     }
   }
+  if (!closed_.load(std::memory_order_acquire) &&
+      source.end_state() == net::SourceEnd::kDeadPeer) {
+    // Dead peer (reconnect window exhausted, if any): declare the sender
+    // dead *behind* everything it already delivered by riding its own lane.
+    Inbound note;
+    note.note = Note::kSenderDead;
+    note.sender = sender;
+    lane.push(note);  // a closed lane rejects — then the engine is ending anyway
+  }
   // This source is done (transport closed or engine closing): its lane
   // drains, then the dispatcher's scheduler drops it from the rotation.
   lane.close();
@@ -384,6 +494,12 @@ void Receiver::serial_drain_loop() {
   // inline — one decode thread, like the old mux, but with DWRR arbitration
   // and per-lane accounting instead of one shared FIFO.
   while (auto item = scheduler_->pop()) {
+    if (item->value.note != Note::kData) {
+      // Liveness token: ordered behind its source's payloads by the lane.
+      std::lock_guard<std::mutex> delivery(delivery_mutex_);
+      apply_sender_note_locked(item->value.note, item->value.sender);
+      continue;
+    }
     const std::size_t wire_bytes = item->value.payload.size();
     scheduler_->lane(item->lane_index).add_delivered_bytes(wire_bytes);
     obs::BatchTrace& trace = item->value.trace;
@@ -399,7 +515,7 @@ void Receiver::serial_drain_loop() {
       const bool traced = tp && !batch.last;
       if (traced) adopt_batch_identity(trace, batch, wire_bytes);
       std::lock_guard<std::mutex> delivery(delivery_mutex_);
-      process_batch(std::move(batch), wire_bytes);
+      process_batch(std::move(batch), wire_bytes, item->value.sender);
       if (traced) {
         trace.note(obs::Stage::kDeliver, obs::now_ns());
         tracer_.complete(trace);
@@ -418,13 +534,18 @@ void Receiver::dispatch_loop() {
   // IS the delivery order, so per-lane streams stay in arrival order at
   // every weight — the scheduler only decides how lanes interleave.
   while (auto item = scheduler_->pop()) {
-    const std::size_t wire_bytes = item->value.payload.size();
-    scheduler_->lane(item->lane_index).add_delivered_bytes(wire_bytes);
-    // Lane residency + DWRR arbitration end here; the window wait and the
-    // pool's run queue are the decode-wait stage, stamped in decode_job.
-    if (item->value.trace.active()) {
-      item->value.trace.note(obs::Stage::kIngest, obs::now_ns());
+    if (item->value.note == Note::kData) {
+      const std::size_t wire_bytes = item->value.payload.size();
+      scheduler_->lane(item->lane_index).add_delivered_bytes(wire_bytes);
+      // Lane residency + DWRR arbitration end here; the window wait and the
+      // pool's run queue are the decode-wait stage, stamped in decode_job.
+      if (item->value.trace.active()) {
+        item->value.trace.note(obs::Stage::kIngest, obs::now_ns());
+      }
     }
+    // Liveness tokens take a ticket like any payload: the death/revival must
+    // land in the delivery stream behind the sender's already-admitted
+    // batches, and the ticket order is the delivery order.
     std::uint64_t ticket = 0;
     {
       std::unique_lock<std::mutex> lock(window_mutex_);
@@ -462,15 +583,19 @@ void Receiver::dispatch_loop() {
 
 void Receiver::decode_job(std::uint64_t ticket, Inbound in) {
   Decoded decoded;
-  decoded.wire_bytes = in.payload.size();
-  obs::BatchTrace* tp = in.trace.active() ? &in.trace : nullptr;
-  if (tp) in.trace.note(obs::Stage::kDecodeWait, obs::now_ns());
-  {
-    obs::StageTimer dec(tp, obs::Stage::kDecode);
-    decoded.batch = decode_payload(in.payload, decoded.error);
-  }
-  if (tp && !decoded.error) {
-    adopt_batch_identity(in.trace, decoded.batch, decoded.wire_bytes);
+  decoded.note = in.note;
+  decoded.sender = in.sender;
+  if (in.note == Note::kData) {
+    decoded.wire_bytes = in.payload.size();
+    obs::BatchTrace* tp = in.trace.active() ? &in.trace : nullptr;
+    if (tp) in.trace.note(obs::Stage::kDecodeWait, obs::now_ns());
+    {
+      obs::StageTimer dec(tp, obs::Stage::kDecode);
+      decoded.batch = decode_payload(in.payload, decoded.error);
+    }
+    if (tp && !decoded.error) {
+      adopt_batch_identity(in.trace, decoded.batch, decoded.wire_bytes);
+    }
   }
   decoded.trace = in.trace;
   // A failed decode still fills its ticket (as a tombstone) — the ordered
@@ -511,12 +636,14 @@ void Receiver::pump_delivery() {
 
 void Receiver::process_decoded(Decoded&& decoded) {
   // Caller holds delivery_mutex_.
-  if (!decoded.error) {
+  if (decoded.note != Note::kData) {
+    apply_sender_note_locked(decoded.note, decoded.sender);
+  } else if (!decoded.error) {
     obs::BatchTrace& trace = decoded.trace;
     const bool traced = trace.active() && !decoded.batch.last;
     // Time parked behind a ticket gap + waiting for the drainer.
     if (traced) trace.note(obs::Stage::kResequence, obs::now_ns());
-    process_batch(std::move(decoded.batch), decoded.wire_bytes);
+    process_batch(std::move(decoded.batch), decoded.wire_bytes, decoded.sender);
     if (traced) {
       trace.note(obs::Stage::kDeliver, obs::now_ns());
       tracer_.complete(trace);

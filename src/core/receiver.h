@@ -54,6 +54,7 @@
 #include "json/json.h"
 #include "msgpack/batch_codec.h"
 #include "net/channel.h"
+#include "net/retry.h"
 #include "obs/trace.h"
 
 namespace emlio::core {
@@ -101,6 +102,13 @@ struct ReceiverConfig {
   /// Off by default; the tracing-off path takes no clocks.
   bool trace = false;
   std::size_t trace_ring = 16;
+  /// Reconnect window for sources that die mid-stream. The Receiver itself
+  /// consumes whatever MessageSources it is handed; this carries the policy
+  /// (ServiceConfig / --retry-max / --retry-deadline) to whoever builds
+  /// those sources, typically as a net::ReconnectingSource wired to
+  /// note_sender_dead / note_sender_revived. Default: fail fast, no
+  /// reconnect — a dead source repairs its epoch and stays dead.
+  net::RetryOptions reconnect;
 };
 
 struct ReceiverStats {
@@ -120,13 +128,25 @@ struct ReceiverStats {
   std::uint64_t decode_ns = 0;          ///< cumulative wall time inside
                                         ///< BatchCodec::decode (both engines)
   /// Batches that never reached the consumer after the receiver took them
-  /// off the wire: decoded but rejected by a closed queue, still held for a
-  /// future epoch when the stream ended (a sender died mid-epoch), or pulled
-  /// off a source and then refused admission by a closing engine (the
-  /// mid-admission window close and the mux shutdown used to lose these
-  /// without a trace). Data payloads the receiver pulls off the wire always
-  /// reconcile: pulled = delivered + dropped_on_close.
+  /// off the wire because the receiver itself was shutting down: decoded but
+  /// rejected by a closed queue, still held for a future epoch when the
+  /// receiver closed locally, or pulled off a source and then refused
+  /// admission by a closing engine (the mid-admission window close and the
+  /// mux shutdown used to lose these without a trace).
   std::uint64_t dropped_on_close = 0;
+  /// Epochs that completed *degraded*: a sender died (or the stream ended)
+  /// before contributing its sentinel and/or all its announced batches, and
+  /// the EpochSequencer's repair rule released the epoch instead of holding
+  /// it forever. The epoch's marker still fires, so training proceeds with
+  /// the surviving senders' data.
+  std::uint64_t epochs_repaired = 0;
+  /// Batches dropped because their sender had been declared dead: stale
+  /// re-sends for epochs that already completed repaired (a restarted daemon
+  /// re-serving from epoch 0). Distinct from dropped_on_close — these are
+  /// fault fallout, not shutdown fallout. Data payloads the receiver pulls
+  /// off the wire always reconcile:
+  /// pulled = delivered + dropped_on_close + dropped_dead_sender.
+  std::uint64_t dropped_dead_sender = 0;
   // Decode-pool sizing (pooled engine). Without the governor, current ==
   // peak == the configured width and resizes stays 0.
   std::uint64_t pool_resizes = 0;        ///< governor grow+shrink steps applied
@@ -176,6 +196,20 @@ class Receiver {
   /// Stop receiving (unblocks next()). Idempotent.
   void close();
 
+  /// Declare the sender behind `source_index` dead (transport watchdogs,
+  /// net::ReconnectingSource::on_down). Ordered with that source's payload
+  /// stream: engines with source lanes enqueue the declaration as a control
+  /// token behind everything the source already delivered, so the dead
+  /// sender's in-flight batches land before its epochs repair. Safe from any
+  /// thread; a no-op once the receiver is closed.
+  void note_sender_dead(std::size_t source_index);
+
+  /// Re-arm a sender after its transport reconnects
+  /// (net::ReconnectingSource::on_up): future epochs wait for it again.
+  /// Whatever it re-sends for already-repaired epochs is dropped and counted
+  /// in dropped_dead_sender.
+  void note_sender_revived(std::size_t source_index);
+
   /// Point-in-time snapshot. Follows the stats counter convention documented
   /// on DaemonStats (core/daemon.h): independent relaxed atomics, internally
   /// consistent per counter; cross-counter invariants settle once the stream
@@ -186,13 +220,25 @@ class Receiver {
   /// completed batches with per-stage breakdowns, plus the stage quantiles.
   json::Value trace_json() const { return tracer_.ring_json(); }
 
+  /// Live stage histograms (config_.trace) — chaos scripts sample snapshot
+  /// deltas off these for windowed per-stage quantile timelines.
+  const obs::Tracer& tracer() const { return tracer_; }
+
  private:
+  /// Liveness control tokens that ride the source lanes so a death/revival
+  /// declaration is processed strictly after the payloads the source already
+  /// delivered (declaring death out of band would stale-drop the dead
+  /// sender's own in-flight tail).
+  enum class Note : std::uint8_t { kData, kSenderDead, kSenderRevived };
+
   /// One raw payload travelling through a source lane, with its stamp sheet
   /// (inactive unless config_.trace — then the extra struct is dead weight
   /// moved alongside the refcounted Payload handle, never copied bytes).
   struct Inbound {
     Payload payload;
     obs::BatchTrace trace;
+    Note note = Note::kData;    ///< != kData: control token, payload empty
+    std::uint32_t sender = 0;   ///< control tokens: which sender
   };
   /// One decode completion travelling through the sequencer.
   struct Decoded {
@@ -200,10 +246,12 @@ class Receiver {
     std::size_t wire_bytes = 0;
     bool error = false;  ///< tombstone: fills the ticket gap, delivers nothing
     obs::BatchTrace trace;
+    Note note = Note::kData;
+    std::uint32_t sender = 0;
   };
 
   void build_source_lanes();
-  void ingest_loop(net::MessageSource& source, Lane<Inbound>& lane);
+  void ingest_loop(net::MessageSource& source, Lane<Inbound>& lane, std::size_t source_index);
   void serial_loop(net::MessageSource& source);
   void dispatch_loop();
   void serial_drain_loop();
@@ -212,11 +260,25 @@ class Receiver {
   msgpack::WireBatch decode_payload(const Payload& payload, bool& error);
   void pump_delivery();
   void process_decoded(Decoded&& decoded);
-  void process_batch(msgpack::WireBatch&& batch, std::size_t wire_bytes);
+  void process_batch(msgpack::WireBatch&& batch, std::size_t wire_bytes, std::uint32_t sender);
   void emit(msgpack::WireBatch&& batch);
   void finish_stage_member(bool is_ingest, bool delivery_held = false);
   /// Count a payload/batch lost to shutdown and emit the one warn line.
   void count_drop(std::uint64_t n, const char* where);
+
+  /// Sender id the epoch algebra sees for `source_index`: the index itself
+  /// when fan-in is attributable (one source per sender), kUnattributed when
+  /// one source muxes several senders (the wire carries no sender id).
+  std::uint32_t sender_for_source(std::size_t source_index) const;
+  /// Apply a death/revival under delivery_mutex_ (caller holds it).
+  void apply_sender_note_locked(Note note, std::uint32_t sender);
+  /// Mirror the epoch algebra's repair/stale counters into the stats
+  /// atomics (caller holds delivery_mutex_); logs the first dead-sender
+  /// drop.
+  void sync_epoch_telemetry_locked();
+  /// Route a control token through the same ordered path as the source's
+  /// payloads (lane when the engine has lanes, direct otherwise).
+  void post_sender_note(std::size_t source_index, Note note);
 
   ReceiverConfig config_;
   /// Stage-latency aggregation (histograms + slow-batch ring). Declared
@@ -269,6 +331,10 @@ class Receiver {
   std::atomic<std::uint64_t> resequence_stalls_{0};
   std::atomic<std::uint64_t> decode_ns_{0};
   std::atomic<std::uint64_t> dropped_on_close_{0};
+  std::atomic<std::uint64_t> epochs_repaired_{0};
+  std::atomic<std::uint64_t> dropped_dead_sender_{0};
+  /// One warn line for the first dead-sender drop, mirroring drop_logged_.
+  std::atomic<bool> dead_drop_logged_{false};
 
   /// Adaptive sizing controller over decode_pool_ (config_.adaptive_pool).
   /// Declared last on purpose: it is destroyed first, so its control thread

@@ -75,6 +75,8 @@ void EmlioService::start() {
     net::PushPullOptions opts;
     opts.high_water_mark = config_.high_water_mark;
     opts.num_streams = config_.num_streams;
+    opts.connect_retry.max_attempts = config_.retry_max;
+    opts.connect_retry.deadline = std::chrono::milliseconds(config_.retry_deadline_ms);
     auto push = std::make_unique<net::PushSocket>("127.0.0.1", pull_->port(), opts);
     sink = wrap_push(std::move(push));
     // The receiver owns a thin forwarder over the pull socket.
@@ -82,6 +84,7 @@ void EmlioService::start() {
       explicit PullSource(net::PullSocket* socket) : socket_(socket) {}
       std::optional<Payload> recv() override { return socket_->recv(); }
       void close() override { socket_->close(); }
+      net::SourceEnd end_state() const override { return socket_->end_state(); }
       net::PullSocket* socket_;
     };
     source = std::make_unique<PullSource>(pull_.get());
@@ -135,6 +138,8 @@ void EmlioService::start() {
   rc.default_lane_qos = qos;
   rc.trace = config_.trace;
   rc.trace_ring = config_.trace_ring;
+  rc.reconnect.max_attempts = config_.retry_max;
+  rc.reconnect.deadline = std::chrono::milliseconds(config_.retry_deadline_ms);
   if (config_.adaptive_pool && rc.decode_threads == 0) {
     // adaptive_pool asks for governed engines; the serial receiver has no
     // pool to govern, so start the pooled engine at the governor's floor

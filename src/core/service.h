@@ -84,6 +84,15 @@ struct ServiceConfig {
   bool trace = false;
   std::size_t trace_ring = 16;
   bool trace_wire = false;
+  /// Retry/backoff window shared by the fault-tolerant edges (net::RetryPolicy
+  /// schedule): the daemon's TCP sink connect path (a daemon may start before
+  /// its receiver is listening) and the receiver's reconnect window
+  /// (ReceiverConfig::reconnect, consumed by tools that wrap their source in
+  /// net::ReconnectingSource). retry_max counts TOTAL attempts including the
+  /// first — 1 keeps the historical fail-fast behavior, 0 = unlimited until
+  /// the deadline. retry_deadline_ms bounds the whole window (0 = none).
+  std::size_t retry_max = 1;
+  std::uint64_t retry_deadline_ms = 0;
   std::uint64_t seed = 1234;
   bool shuffle = true;
   bool verify_crc = false;

@@ -48,6 +48,15 @@ class MessageSink {
   virtual std::uint64_t data_syscalls() const { return 0; }
 };
 
+/// How a MessageSource's stream came to an end — consulted after recv()
+/// returns nullopt so the receiver can tell a clean sender shutdown from a
+/// dead peer and repair the in-flight epoch instead of wedging or silently
+/// truncating.
+enum class SourceEnd : std::uint8_t {
+  kClean,     ///< sender closed the stream deliberately (or it hasn't ended)
+  kDeadPeer,  ///< the peer died / the link failed mid-stream
+};
+
 /// Blocking message consumer endpoint (PULL side).
 class MessageSource {
  public:
@@ -60,6 +69,10 @@ class MessageSource {
 
   /// Stop receiving and release resources. Idempotent.
   virtual void close() = 0;
+
+  /// Why the stream ended. Meaningful once recv() has returned nullopt;
+  /// transports that cannot distinguish (or haven't ended) report kClean.
+  virtual SourceEnd end_state() const { return SourceEnd::kClean; }
 };
 
 }  // namespace emlio::net

@@ -8,9 +8,24 @@ namespace emlio::net {
 PushSocket::PushSocket(const std::string& host, std::uint16_t port, PushPullOptions options) {
   std::size_t n = options.num_streams ? options.num_streams : 1;
   streams_.reserve(n);
+  // One retry window covers all streams: a receiver that is down is down for
+  // every connection, and restarting the schedule per stream would multiply
+  // the deadline by num_streams.
+  RetryPolicy policy(options.connect_retry);
   for (std::size_t i = 0; i < n; ++i) {
     Stream s;
-    s.tcp = TcpStream::connect(host, port);
+    for (;;) {
+      try {
+        s.tcp = TcpStream::connect(host, port);
+        break;
+      } catch (const std::exception& e) {
+        auto delay = policy.next_delay();
+        if (!delay) throw;  // budget spent — fail the constructor as before
+        log::warn("push connect ", host, ":", port, " failed (", e.what(), "); retry in ",
+                  delay->count(), " ms");
+        std::this_thread::sleep_for(*delay);
+      }
+    }
     s.queue = std::make_unique<BoundedQueue<Payload>>(options.high_water_mark);
     streams_.push_back(std::move(s));
   }
@@ -88,12 +103,27 @@ void PullSocket::close() {
   }
 }
 
+void PullSocket::set_peer_callback(std::function<void(bool connected)> cb) {
+  std::lock_guard<std::mutex> lock(peer_cb_mutex_);
+  peer_cb_ = std::move(cb);
+}
+
+void PullSocket::notify_peer(bool connected) {
+  std::function<void(bool)> cb;
+  {
+    std::lock_guard<std::mutex> lock(peer_cb_mutex_);
+    cb = peer_cb_;
+  }
+  if (cb) cb(connected);
+}
+
 void PullSocket::accept_loop() {
   for (;;) {
     auto stream = listener_.accept();
     if (!stream) return;  // listener closed
     std::lock_guard<std::mutex> lock(readers_mutex_);
     if (closed_.load(std::memory_order_acquire)) return;
+    notify_peer(true);
     readers_.emplace_back([this, s = std::move(*stream)]() mutable { reader_loop(std::move(s)); });
   }
 }
@@ -108,8 +138,10 @@ void PullSocket::reader_loop(TcpStream stream) {
   } catch (const std::exception& e) {
     if (!closed_.load(std::memory_order_acquire)) {
       log::error("pull reader: ", e.what());
+      peer_errors_.fetch_add(1, std::memory_order_acq_rel);
     }
   }
+  if (!closed_.load(std::memory_order_acquire)) notify_peer(false);
   // With a known sender population, the last connection to finish (clean EOF
   // or error alike — a dead sender must not wedge the stream) ends the
   // stream: close() on the queue drains what is buffered, then recv()

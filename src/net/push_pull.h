@@ -7,19 +7,25 @@
 //     full",
 //   * PULL fair-merges all inbound connections into one shared queue.
 //
-// Unlike ZMQ, streams connect eagerly in the constructor and failures throw
-// rather than retry silently — the Planner owns endpoint liveness.
+// Unlike ZMQ, streams connect eagerly in the constructor. By default a
+// failed connect throws rather than retrying silently — the Planner owns
+// endpoint liveness — but `PushPullOptions::connect_retry` opts into a
+// bounded backoff window (shared net::RetryPolicy schedule) so a daemon can
+// start before its receiver is listening.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/bounded_queue.h"
 #include "net/channel.h"
+#include "net/retry.h"
 #include "net/socket.h"
 
 namespace emlio::net {
@@ -28,6 +34,10 @@ namespace emlio::net {
 struct PushPullOptions {
   std::size_t high_water_mark = 16;  ///< per-stream queued-message cap (ZMQ HWM)
   std::size_t num_streams = 1;       ///< parallel TCP connections per PUSH socket
+  /// Connect-retry window per stream. The default (max_attempts = 1) keeps
+  /// the historical fail-fast semantics; callers that tolerate a
+  /// not-yet-listening peer raise max_attempts / set a deadline.
+  RetryOptions connect_retry{};
 };
 
 /// PUSH end: connects `num_streams` TCP streams to a PULL endpoint and
@@ -96,6 +106,32 @@ class PullSocket final : public MessageSource {
 
   void close() override;
 
+  /// kDeadPeer when at least one inbound connection ended with a transport
+  /// error (reset, truncated frame) rather than a clean EOF and the socket
+  /// was not being closed locally. Note TCP's limits: a kill -9'd peer whose
+  /// kernel sends a clean FIN at a frame boundary is indistinguishable from
+  /// a deliberate close, and on a muxed socket the error is not attributable
+  /// to one sender — callers that need per-sender liveness watch
+  /// connection counts (set_peer_callback) or use a transport with a pid
+  /// probe (shm).
+  SourceEnd end_state() const override {
+    return peer_errors_.load(std::memory_order_acquire) > 0 &&
+                   !closed_.load(std::memory_order_acquire)
+               ? SourceEnd::kDeadPeer
+               : SourceEnd::kClean;
+  }
+
+  /// Observe connection churn: called with `true` when an inbound connection
+  /// is accepted, `false` when one ends (clean or error alike), from the
+  /// acceptor/reader threads. Lets a receiver with a known sender population
+  /// treat "connections dropped below expected" as a dead sender.
+  void set_peer_callback(std::function<void(bool connected)> cb);
+
+  /// Inbound connections that ended with a transport error so far.
+  std::size_t peer_errors() const noexcept {
+    return peer_errors_.load(std::memory_order_relaxed);
+  }
+
   /// The bound port (for connecting PUSH sockets).
   std::uint16_t port() const noexcept { return listener_.port(); }
 
@@ -109,6 +145,7 @@ class PullSocket final : public MessageSource {
  private:
   void accept_loop();
   void reader_loop(TcpStream stream);
+  void notify_peer(bool connected);
 
   TcpListener listener_;
   std::shared_ptr<BufferPool> pool_;
@@ -118,6 +155,9 @@ class PullSocket final : public MessageSource {
   std::thread acceptor_;
   std::mutex readers_mutex_;
   std::vector<std::thread> readers_;
+  std::mutex peer_cb_mutex_;
+  std::function<void(bool)> peer_cb_;
+  std::atomic<std::size_t> peer_errors_{0};
   std::atomic<std::size_t> received_{0};
   std::atomic<bool> closed_{false};
 };

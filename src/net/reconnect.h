@@ -1,0 +1,147 @@
+// Receiver-side reconnect window: a MessageSource that survives its peer.
+//
+// Wraps an inner MessageSource built by a caller-supplied factory. While the
+// inner stream is healthy every recv() passes straight through. When the
+// inner stream ends with SourceEnd::kDeadPeer (shm pid probe, severed sim
+// link, TCP reset), the wrapper reports the outage (on_down), then walks a
+// net::RetryPolicy schedule calling the factory until it yields a live
+// source again (on_up) — at which point recv() resumes on the new stream —
+// or the retry budget is spent, at which point the stream ends with
+// end_state() == kDeadPeer for the receiver to repair.
+//
+// A clean inner end (deliberate sink close) is passed through untouched:
+// reconnect never second-guesses an orderly shutdown.
+//
+// Factory contract: called from the recv() thread; may throw or return
+// nullptr while the peer is still gone (e.g. ShmMessageSource attach to a
+// segment whose creator died — both failures just burn one retry attempt).
+// close() is safe from any thread and interrupts an in-progress backoff
+// sleep.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/log.h"
+#include "net/channel.h"
+#include "net/retry.h"
+
+namespace emlio::net {
+
+/// Outage callbacks, invoked from the recv() thread. on_down fires once per
+/// outage before the first reconnect attempt; on_up fires after a successful
+/// one. Typical wiring: Receiver::note_sender_dead / note_sender_revived.
+struct ReconnectEvents {
+  std::function<void()> on_down;
+  std::function<void()> on_up;
+};
+
+class ReconnectingSource final : public MessageSource {
+ public:
+  using Factory = std::function<std::unique_ptr<MessageSource>()>;
+
+  ReconnectingSource(std::unique_ptr<MessageSource> initial, Factory factory,
+                     const RetryOptions& retry, ReconnectEvents events = {})
+      : inner_(std::move(initial)),
+        factory_(std::move(factory)),
+        retry_(retry),
+        events_(std::move(events)) {}
+
+  ~ReconnectingSource() override { close(); }
+
+  std::optional<Payload> recv() override {
+    for (;;) {
+      auto inner = current();
+      if (!inner) return std::nullopt;  // closed
+      if (auto msg = inner->recv()) return msg;
+      if (closed()) return std::nullopt;
+      if (inner->end_state() != SourceEnd::kDeadPeer) return std::nullopt;  // clean end
+      if (!reconnect()) {
+        exhausted_.store(true, std::memory_order_release);
+        return std::nullopt;
+      }
+    }
+  }
+
+  void close() override {
+    std::shared_ptr<MessageSource> inner;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+      inner = inner_;
+    }
+    cv_.notify_all();
+    if (inner) inner->close();
+  }
+
+  /// kDeadPeer when the stream ended because the retry budget ran out mid
+  /// outage; otherwise whatever the inner stream reported.
+  SourceEnd end_state() const override {
+    if (exhausted_.load(std::memory_order_acquire)) return SourceEnd::kDeadPeer;
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_ ? inner_->end_state() : SourceEnd::kClean;
+  }
+
+  /// Outages weathered so far (successful reconnects).
+  std::size_t reconnects() const { return reconnects_.load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<MessageSource> current() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_ ? nullptr : inner_;
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  /// Swap in a fresh source from the factory under the retry schedule.
+  /// Returns false when closed or the budget is spent.
+  bool reconnect() {
+    if (events_.on_down) events_.on_down();
+    RetryPolicy policy(retry_);
+    for (;;) {
+      std::unique_ptr<MessageSource> fresh;
+      try {
+        fresh = factory_();
+      } catch (const std::exception& e) {
+        log::warn("reconnect attempt ", policy.attempts() + 1, " failed: ", e.what());
+      }
+      if (fresh) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          if (closed_) {
+            fresh->close();
+            return false;
+          }
+          inner_ = std::move(fresh);
+        }
+        reconnects_.fetch_add(1, std::memory_order_relaxed);
+        if (events_.on_up) events_.on_up();
+        return true;
+      }
+      auto delay = policy.next_delay();
+      if (!delay) return false;
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (cv_.wait_for(lock, *delay, [&] { return closed_; })) return false;
+    }
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::shared_ptr<MessageSource> inner_;  // guarded by mutex_
+  Factory factory_;
+  RetryOptions retry_;
+  ReconnectEvents events_;
+  std::atomic<std::size_t> reconnects_{0};
+  std::atomic<bool> exhausted_{false};
+  bool closed_ = false;  // guarded by mutex_
+};
+
+}  // namespace emlio::net

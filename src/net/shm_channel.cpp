@@ -144,6 +144,7 @@ std::optional<Payload> ShmMessageSource::recv() {
       std::fprintf(stderr,
                    "emlio: shm source %s: daemon (pid %u) died mid-stream; ending stream\n",
                    seg_->name().c_str(), seg_->header().creator_pid);
+      end_.store(SourceEnd::kDeadPeer, std::memory_order_release);
       return std::nullopt;
     }
   }

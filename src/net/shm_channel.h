@@ -94,13 +94,17 @@ class ShmMessageSource final : public MessageSource {
 
   /// Pops the next descriptor and wraps its slab zero-copy. After the sink
   /// closes, keeps returning the messages already in the ring, then empty.
-  /// Returns empty (with a stderr warning) if the daemon process dies
-  /// mid-stream.
+  /// Returns empty (with a stderr warning and end_state() == kDeadPeer) if
+  /// the daemon process dies mid-stream.
   std::optional<Payload> recv() override;
 
   /// Ends the stream immediately (messages still in the ring are dropped,
   /// matching the TCP pull socket) and unblocks a sender waiting for slabs.
   void close() override;
+
+  /// kDeadPeer once a park-timeout pid probe caught the daemon dead
+  /// mid-stream; kClean for a deliberate sink close (or a live stream).
+  SourceEnd end_state() const override { return end_.load(std::memory_order_acquire); }
 
  private:
   explicit ShmMessageSource(std::shared_ptr<ShmSegment> seg, std::size_t spin_iterations);
@@ -110,6 +114,7 @@ class ShmMessageSource final : public MessageSource {
   std::size_t spin_iterations_;
   std::mutex recv_mu_;          // serializes data-pop ordering
   std::atomic<bool> closed_{false};
+  std::atomic<SourceEnd> end_{SourceEnd::kClean};
 };
 
 }  // namespace emlio::net

@@ -13,6 +13,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "net/retry.h"
+
 #ifdef __linux__
 #include <linux/futex.h>
 #include <sys/syscall.h>
@@ -299,14 +301,24 @@ std::shared_ptr<ShmSegment> ShmSegment::attach(const std::string& name) {
 
 std::shared_ptr<ShmSegment> ShmSegment::attach_wait(const std::string& name,
                                                     std::chrono::milliseconds timeout) {
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  // Backoff from ~1 ms: a daemon started in parallel usually has the segment
+  // up within a few milliseconds, and the shared policy caps the poll at a
+  // gentle 20 ms instead of hammering shm_open on a slow daemon.
+  RetryOptions ro;
+  ro.max_attempts = 0;  // bounded by the deadline alone
+  ro.initial_backoff = std::chrono::milliseconds(1);
+  ro.max_backoff = std::chrono::milliseconds(20);
+  ro.jitter = 0.0;
+  ro.deadline = timeout;
+  RetryPolicy policy(ro);
   while (true) {
     if (auto seg = try_attach(name)) return seg;  // permanent failures throw through
-    if (std::chrono::steady_clock::now() >= deadline) {
+    auto delay = policy.next_delay();
+    if (!delay) {
       throw std::runtime_error("timed out waiting for shm segment " + normalize_name(name) +
                                " to appear");
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::this_thread::sleep_for(*delay);
   }
 }
 

@@ -21,8 +21,16 @@ class LinkState : public SimLinkControl {
 
   bool send(Payload message) {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [&] { return in_flight_.size() < config_.high_water_mark || closed_; });
-    if (closed_) return false;
+    not_full_.wait(lock, [&] {
+      return in_flight_.size() < config_.high_water_mark || closed_ || severed_;
+    });
+    if (closed_ || severed_) return false;  // a severed link looks like a dead peer
+    if (drop_probability_ > 0.0 && rng_.uniform01() < drop_probability_) {
+      // Lost on the wire: the sender sees a successful send, the receiver
+      // never sees the message. Dropped bytes don't occupy the link.
+      messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
 
     Nanos now = clock_.now();
     // Serialization occupies the link: back-to-back messages queue behind the
@@ -33,6 +41,10 @@ class LinkState : public SimLinkControl {
     link_free_at_ = tx_start + tx_nanos;
 
     double one_way_ms = config_.rtt_ms / 2.0 + extra_latency_ms_.load(std::memory_order_relaxed);
+    if (spike_ms_ > 0.0) {
+      one_way_ms += spike_ms_;  // one-shot: exactly this message pays it
+      spike_ms_ = 0.0;
+    }
     if (config_.jitter_stddev_ms > 0.0) {
       one_way_ms = std::max(0.0, one_way_ms + rng_.normal(0.0, config_.jitter_stddev_ms));
     }
@@ -47,7 +59,8 @@ class LinkState : public SimLinkControl {
   std::optional<Payload> recv() {
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
-      not_empty_.wait(lock, [&] { return !in_flight_.empty() || closed_; });
+      not_empty_.wait(lock, [&] { return !in_flight_.empty() || closed_ || severed_; });
+      if (severed_) return std::nullopt;  // link cut mid-stream — dead peer
       if (in_flight_.empty()) return std::nullopt;  // closed and drained
       Nanos ready = in_flight_.front().ready_at;
       Nanos now = clock_.now();
@@ -75,8 +88,48 @@ class LinkState : public SimLinkControl {
     extra_latency_ms_.store(ms, std::memory_order_relaxed);
   }
 
+  void spike_next_ms(double ms) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    spike_ms_ = ms;
+  }
+
+  void sever() override {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      severed_ = true;
+      // Everything in flight dies with the link.
+      messages_dropped_.fetch_add(in_flight_.size(), std::memory_order_relaxed);
+      in_flight_.clear();
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  void restore() override {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      severed_ = false;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  void set_drop_probability(double p) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    drop_probability_ = p;
+  }
+
+  std::uint64_t messages_dropped() const override {
+    return messages_dropped_.load(std::memory_order_relaxed);
+  }
+
   std::uint64_t bytes_sent() const override {
     return bytes_sent_.load(std::memory_order_relaxed);
+  }
+
+  SourceEnd end_state() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return severed_ ? SourceEnd::kDeadPeer : SourceEnd::kClean;
   }
 
  private:
@@ -95,6 +148,10 @@ class LinkState : public SimLinkControl {
   Nanos link_free_at_ = 0;
   std::atomic<double> extra_latency_ms_{0.0};
   std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> messages_dropped_{0};
+  double spike_ms_ = 0.0;          // guarded by mutex_
+  double drop_probability_ = 0.0;  // guarded by mutex_
+  bool severed_ = false;           // guarded by mutex_
   bool closed_ = false;
 };
 
@@ -115,6 +172,7 @@ class SimSource final : public MessageSource {
   ~SimSource() override = default;
   std::optional<Payload> recv() override { return state_->recv(); }
   void close() override { state_->close(); }
+  SourceEnd end_state() const override { return state_->end_state(); }
 
  private:
   std::shared_ptr<LinkState> state_;

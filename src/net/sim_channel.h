@@ -27,13 +27,36 @@ struct SimLinkConfig {
   std::uint64_t seed = 42;                 ///< jitter RNG seed
 };
 
-/// Handle for fault injection while a channel is live.
+/// Handle for fault injection while a channel is live. All methods are safe
+/// to call from a chaos-script thread while the daemon/receiver are using
+/// the channel; the MessageSink/Source contracts are unchanged — faults only
+/// surface as the behaviors those contracts already allow (failed sends, an
+/// ended stream, delayed or missing messages).
 class SimLinkControl {
  public:
   virtual ~SimLinkControl() = default;
   /// Add a fixed latency penalty to every message sent from now on
   /// (models a congestion episode). Additive with config latency.
   virtual void set_extra_latency_ms(double ms) = 0;
+  /// One-shot latency spike: the NEXT message sent pays an extra `ms` on
+  /// top of everything else, then the spike auto-clears (models a single
+  /// stalled packet / GC pause in the path).
+  virtual void spike_next_ms(double ms) = 0;
+  /// Cut the link, emulating a crashed peer: in-flight messages are
+  /// discarded (counted in messages_dropped()), subsequent send()s fail,
+  /// and the receiver's recv() returns nullopt with end_state() ==
+  /// SourceEnd::kDeadPeer.
+  virtual void sever() = 0;
+  /// Heal a severed link: send()/recv() work again (a fresh recv() call
+  /// resumes the stream; messages lost while severed stay lost).
+  virtual void restore() = 0;
+  /// Drop each subsequent message with probability `p` (deterministic under
+  /// the config seed). A dropped message vanishes silently: send() still
+  /// returns true, the receiver never sees it — the lossy-link case epoch
+  /// repair has to survive.
+  virtual void set_drop_probability(double p) = 0;
+  /// Messages lost to set_drop_probability() drops and sever() discards.
+  virtual std::uint64_t messages_dropped() const = 0;
   /// Total bytes that have entered the link.
   virtual std::uint64_t bytes_sent() const = 0;
 };

@@ -560,24 +560,36 @@ TEST(ReceiverParallelDecode, RandomizedInterleavingsSerialVsPooledByteIdentical)
   }
 }
 
-TEST(ReceiverParallelDecode, HeldBatchesForDeadSenderCountedAsDropped) {
+TEST(ReceiverParallelDecode, HeldBatchesRepairedAtStreamEnd) {
   // Epoch-1 data arrives but epoch 0 never completes (a sender died before
-  // its sentinel): the held, already-decoded batch can never be delivered.
-  // Both engines must count it instead of losing it silently.
+  // its sentinel). When the stream ends on its own — not a local close() —
+  // both engines repair: each evidenced epoch completes degraded, the held
+  // epoch-1 batch is DELIVERED (not leaked or dropped), and the repairs are
+  // counted in epochs_repaired.
   for (std::size_t decode_threads : {std::size_t{0}, std::size_t{2}}) {
     std::vector<msgpack::WireBatch> script;
     script.push_back(data_batch(0, 0));
-    script.push_back(data_batch(1, 5));  // held: epoch 0 stays incomplete
+    script.push_back(data_batch(1, 5));  // held until epoch 0 resolves
     ReceiverConfig rc;
     rc.num_senders = 1;
     rc.decode_threads = decode_threads;
     Receiver receiver(rc, std::make_unique<ScriptedSource>(std::move(script)));
-    auto delivered = drain_all(receiver);  // nullopt only after accounting
-    ASSERT_EQ(delivered.size(), 1u) << "decode_threads=" << decode_threads;
+    auto delivered = drain_all(receiver);
+    // batch 0, degraded epoch-0 marker, held batch 5, degraded epoch-1 marker.
+    ASSERT_EQ(delivered.size(), 4u) << "decode_threads=" << decode_threads;
     EXPECT_EQ(delivered[0].batch_id, 0u);
+    EXPECT_TRUE(delivered[1].last);
+    EXPECT_EQ(delivered[1].epoch, 0u);
+    EXPECT_EQ(delivered[2].batch_id, 5u);
+    EXPECT_EQ(delivered[2].epoch, 1u);
+    EXPECT_TRUE(delivered[3].last);
+    EXPECT_EQ(delivered[3].epoch, 1u);
     auto stats = receiver.stats();
     EXPECT_EQ(stats.batches_received, 2u) << "decode_threads=" << decode_threads;
-    EXPECT_EQ(stats.dropped_on_close, 1u) << "decode_threads=" << decode_threads;
+    EXPECT_EQ(stats.epochs_completed, 2u) << "decode_threads=" << decode_threads;
+    EXPECT_EQ(stats.epochs_repaired, 2u) << "decode_threads=" << decode_threads;
+    EXPECT_EQ(stats.dropped_on_close, 0u) << "decode_threads=" << decode_threads;
+    EXPECT_EQ(stats.dropped_dead_sender, 0u) << "decode_threads=" << decode_threads;
   }
 }
 

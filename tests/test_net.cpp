@@ -16,6 +16,8 @@
 #include "common/clock.h"
 #include "net/framing.h"
 #include "net/push_pull.h"
+#include "net/reconnect.h"
+#include "net/retry.h"
 #include "net/shm_channel.h"
 #include "net/shm_segment.h"
 #include "net/sim_channel.h"
@@ -285,6 +287,209 @@ TEST(SimChannel, LatencySpikeInjection) {
   ch.source->recv();
   EXPECT_GE(SteadyClock::instance().now() - start, from_millis(25.0));
   EXPECT_EQ(ch.control->bytes_sent(), 1u);
+}
+
+// ------------------------------------------------------ fault injection
+
+TEST(SimChannel, SeverDropsInFlightAndEndsStreamAsDeadPeer) {
+  auto ch = make_sim_channel({});
+  ch.sink->send(msg({1}));
+  ch.sink->send(msg({2}));
+  ch.control->sever();
+  EXPECT_EQ(ch.control->messages_dropped(), 2u);  // in-flight discarded
+  EXPECT_FALSE(ch.source->recv().has_value());
+  EXPECT_EQ(ch.source->end_state(), SourceEnd::kDeadPeer);
+  EXPECT_FALSE(ch.sink->send(msg({3})));  // sends fail while severed
+}
+
+TEST(SimChannel, RestoreRevivesSeveredLink) {
+  auto ch = make_sim_channel({});
+  ch.control->sever();
+  EXPECT_FALSE(ch.sink->send(msg({1})));
+  ch.control->restore();
+  EXPECT_TRUE(ch.sink->send(msg({2})));
+  auto m = ch.source->recv();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->size(), 1u);
+  EXPECT_EQ((*m)[0], 2u);
+  EXPECT_EQ(ch.source->end_state(), SourceEnd::kClean);
+}
+
+TEST(SimChannel, ProbabilisticDropIsSilentSeededAndCounted) {
+  SimLinkConfig cfg;
+  cfg.seed = 7;
+  cfg.high_water_mark = 128;  // nobody drains concurrently — don't block at HWM
+  auto ch = make_sim_channel(cfg);
+  ch.control->set_drop_probability(0.5);
+  constexpr int kSends = 64;
+  for (int i = 0; i < kSends; ++i) {
+    EXPECT_TRUE(ch.sink->send(msg({1})));  // a lossy link still accepts
+  }
+  ch.sink->close();
+  int received = 0;
+  while (ch.source->recv()) ++received;
+  const auto dropped = ch.control->messages_dropped();
+  EXPECT_EQ(static_cast<std::uint64_t>(received) + dropped, kSends);
+  // p=0.5 over 64 trials: both outcomes must actually occur.
+  EXPECT_GE(dropped, 1u);
+  EXPECT_GE(received, 1);
+}
+
+TEST(SimChannel, SpikeNextDelaysExactlyOneMessage) {
+  auto ch = make_sim_channel({});
+  ch.control->spike_next_ms(40.0);
+  auto t0 = SteadyClock::instance().now();
+  ch.sink->send(msg({1}));  // pays the spike
+  ch.sink->send(msg({2}));  // does not
+  ch.source->recv();
+  EXPECT_GE(SteadyClock::instance().now() - t0, from_millis(35.0));
+  auto t1 = SteadyClock::instance().now();
+  ch.source->recv();
+  EXPECT_LT(SteadyClock::instance().now() - t1, from_millis(30.0));
+}
+
+// ------------------------------------------------------------ retry policy
+
+TEST(RetryPolicy, FailFastDefaultGrantsNoRetry) {
+  RetryPolicy p{RetryOptions{}};  // max_attempts = 1: the historical throw
+  EXPECT_FALSE(p.next_delay().has_value());
+  EXPECT_EQ(p.attempts(), 1u);
+}
+
+TEST(RetryPolicy, BackoffGrowsGeometricallyAndClampsAtCeiling) {
+  RetryOptions o;
+  o.max_attempts = 6;
+  o.initial_backoff = std::chrono::milliseconds(10);
+  o.max_backoff = std::chrono::milliseconds(40);
+  o.multiplier = 2.0;
+  o.jitter = 0.0;
+  RetryPolicy p(o);
+  std::vector<long long> delays;
+  while (auto d = p.next_delay()) delays.push_back(d->count());
+  // 6 total attempts = 5 waits between them.
+  ASSERT_EQ(delays.size(), 5u);
+  EXPECT_EQ(delays, (std::vector<long long>{10, 20, 40, 40, 40}));
+}
+
+TEST(RetryPolicy, DeadlineTripsOnVirtualElapsedWithoutSleeping) {
+  // The deadline charges the sum of granted delays, so walking the schedule
+  // without sleeping still exhausts the window — and the final delay is
+  // clipped to the remaining budget rather than overshooting.
+  RetryOptions o;
+  o.max_attempts = 0;  // unlimited attempts: only the deadline ends this
+  o.initial_backoff = std::chrono::milliseconds(30);
+  o.multiplier = 1.0;
+  o.jitter = 0.0;
+  o.deadline = std::chrono::milliseconds(100);
+  RetryPolicy p(o);
+  std::vector<long long> delays;
+  while (auto d = p.next_delay()) delays.push_back(d->count());
+  ASSERT_EQ(delays.size(), 4u);
+  EXPECT_EQ(delays, (std::vector<long long>{30, 30, 30, 10}));
+}
+
+TEST(RetryPolicy, JitterIsDeterministicUnderSeed) {
+  RetryOptions o;
+  o.max_attempts = 8;
+  o.initial_backoff = std::chrono::milliseconds(100);
+  o.max_backoff = std::chrono::milliseconds(100000);
+  o.jitter = 0.5;
+  auto walk = [](const RetryOptions& opts) {
+    RetryPolicy p(opts);
+    std::vector<long long> out;
+    while (auto d = p.next_delay()) out.push_back(d->count());
+    return out;
+  };
+  auto a = walk(o), b = walk(o);
+  EXPECT_EQ(a, b);  // same seed: identical schedule (tests/chaos rely on it)
+  auto other = o;
+  other.seed = o.seed + 1;
+  EXPECT_NE(a, walk(other));
+  // And every jittered delay stays inside [1-j, 1+j] of its base.
+  long long base = 100;
+  for (auto d : a) {
+    EXPECT_GE(d, static_cast<long long>(base * 0.5 - 1));
+    EXPECT_LE(d, static_cast<long long>(base * 1.5 + 1));
+    base *= 2;
+  }
+}
+
+// ------------------------------------------------------ reconnecting source
+
+TEST(ReconnectingSource, SurvivesOutageAndResumesOnNewSource) {
+  auto ch1 = make_sim_channel({});
+  auto ch2 = make_sim_channel({});
+  ch1.sink->send(msg({1}));
+  ch2.sink->send(msg({2}));
+
+  int downs = 0, ups = 0, factory_calls = 0;
+  RetryOptions ro;
+  ro.max_attempts = 0;
+  ro.initial_backoff = std::chrono::milliseconds(1);
+  ro.jitter = 0.0;
+  ro.deadline = std::chrono::milliseconds(2000);
+  ReconnectEvents ev;
+  ev.on_down = [&] { ++downs; };
+  ev.on_up = [&] { ++ups; };
+  auto factory = [&]() -> std::unique_ptr<MessageSource> {
+    if (++factory_calls == 1) throw std::runtime_error("peer still down");
+    return std::move(ch2.source);
+  };
+  ReconnectingSource src(std::move(ch1.source), factory, ro, ev);
+
+  auto m1 = src.recv();
+  ASSERT_TRUE(m1.has_value());
+  EXPECT_EQ((*m1)[0], 1u);
+  ch1.control->sever();  // the peer "crashes"
+  auto m2 = src.recv();  // outage weathered inside this call
+  ASSERT_TRUE(m2.has_value());
+  EXPECT_EQ((*m2)[0], 2u);
+  EXPECT_EQ(downs, 1);
+  EXPECT_EQ(ups, 1);
+  EXPECT_EQ(factory_calls, 2);
+  EXPECT_EQ(src.reconnects(), 1u);
+
+  ch2.sink->close();  // deliberate close on the NEW stream ends cleanly
+  EXPECT_FALSE(src.recv().has_value());
+  EXPECT_EQ(src.end_state(), SourceEnd::kClean);
+}
+
+TEST(ReconnectingSource, ExhaustedBudgetEndsStreamAsDeadPeer) {
+  auto ch = make_sim_channel({});
+  ch.control->sever();
+  int downs = 0;
+  RetryOptions ro;
+  ro.max_attempts = 3;
+  ro.initial_backoff = std::chrono::milliseconds(1);
+  ro.jitter = 0.0;
+  ReconnectEvents ev;
+  ev.on_down = [&] { ++downs; };
+  ReconnectingSource src(
+      std::move(ch.source),
+      []() -> std::unique_ptr<MessageSource> { throw std::runtime_error("still down"); }, ro,
+      ev);
+  EXPECT_FALSE(src.recv().has_value());
+  EXPECT_EQ(src.end_state(), SourceEnd::kDeadPeer);  // for the receiver to repair
+  EXPECT_EQ(downs, 1);
+  EXPECT_EQ(src.reconnects(), 0u);
+}
+
+TEST(ReconnectingSource, CleanEndPassesThroughWithoutReconnect) {
+  auto ch = make_sim_channel({});
+  ch.sink->send(msg({9}));
+  ch.sink->close();
+  int factory_calls = 0;
+  ReconnectingSource src(
+      std::move(ch.source),
+      [&]() -> std::unique_ptr<MessageSource> {
+        ++factory_calls;
+        return nullptr;
+      },
+      RetryOptions{});
+  EXPECT_TRUE(src.recv().has_value());
+  EXPECT_FALSE(src.recv().has_value());
+  EXPECT_EQ(src.end_state(), SourceEnd::kClean);
+  EXPECT_EQ(factory_calls, 0);  // an orderly shutdown is never second-guessed
 }
 
 // -------------------------------------------- transport conformance suite
@@ -629,6 +834,20 @@ TEST(ShmSegment, GarbageObjectRejectedAndCreateReclaims) {
   ASSERT_TRUE(seg != nullptr);
   EXPECT_TRUE(seg->is_creator());
   ShmMessageSource attached(name);  // and the fresh segment attaches fine
+}
+
+TEST(ShmChannel, DeadCreatorMidStreamSurfacesAsDeadPeer) {
+  // The creator "crashes" while a source is attached and the ring is empty:
+  // the park-timeout pid probe must end the stream marked kDeadPeer — a
+  // distinct error state, not a clean end a consumer would mistake for a
+  // finished epoch.
+  auto name = unique_shm_name();
+  auto seg = ShmSegment::create(name, {.slab_bytes = 4096, .slab_count = 2});
+  ShmMessageSource source(name);
+  EXPECT_EQ(source.end_state(), SourceEnd::kClean);
+  seg->header().creator_pid = 999999999u;  // kill -9 signature: dead, not closed
+  EXPECT_FALSE(source.recv().has_value());
+  EXPECT_EQ(source.end_state(), SourceEnd::kDeadPeer);
 }
 
 TEST(ShmSegment, AttachWaitTimesOutWhenNothingAppears) {

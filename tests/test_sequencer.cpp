@@ -198,8 +198,9 @@ TEST(EpochSequencer, ChainedCompletionsFlushInOneCall) {
 }
 
 TEST(EpochSequencer, HeldCountSurvivesDeadSender) {
-  // A sender dying mid-epoch leaves future-epoch data stranded — the host
-  // (Receiver) reads held_count() at end-of-stream to account the loss.
+  // A sender dying mid-epoch leaves future-epoch data stranded — a host
+  // that closes locally (no finish()) reads held_count() to account the
+  // loss as drops.
   EpochSequencer<int> es(2);
   Collector c;
   es.data(1, 1, c.on_data(), c.on_marker());
@@ -207,6 +208,142 @@ TEST(EpochSequencer, HeldCountSurvivesDeadSender) {
   es.sentinel(0, 0, c.on_data(), c.on_marker());  // only one of two senders
   EXPECT_TRUE(c.markers.empty());
   EXPECT_EQ(es.held_count(), 2u);
+}
+
+// ------------------------------------------------- EpochSequencer: repair
+
+TEST(EpochSequencer, DeadSenderRepairsWedgedEpoch) {
+  // Sender 1 dies before its sentinel: the epoch must complete degraded
+  // instead of holding the stream forever. The repaired marker reports the
+  // delivered count, not the (unknowable) announced one.
+  EpochSequencer<int> es(2);
+  Collector c;
+  es.data(0, 0u, 10, c.on_data(), c.on_marker());
+  es.sentinel(0, 0u, 1, c.on_data(), c.on_marker());
+  EXPECT_TRUE(c.markers.empty());  // still waiting on sender 1
+  es.sender_dead(1, c.on_data(), c.on_marker());
+  ASSERT_EQ(c.markers.size(), 1u);
+  EXPECT_EQ(c.markers[0], (std::pair<std::uint32_t, std::uint64_t>{0, 1}));
+  EXPECT_EQ(es.epochs_completed(), 1u);
+  EXPECT_EQ(es.epochs_repaired(), 1u);
+  EXPECT_EQ(es.dead_senders(), 1u);
+}
+
+TEST(EpochSequencer, DeadSenderAfterSentinelMissingItemsNoLongerGates) {
+  // Sender 1 announced 2 items, delivered 1, then died: its missing tail
+  // must stop gating completion (the live sender's accounting is intact).
+  EpochSequencer<int> es(2);
+  Collector c;
+  es.sentinel(0, 0u, 1, c.on_data(), c.on_marker());
+  es.data(0, 0u, 10, c.on_data(), c.on_marker());
+  es.sentinel(0, 1u, 2, c.on_data(), c.on_marker());
+  es.data(0, 1u, 20, c.on_data(), c.on_marker());
+  EXPECT_TRUE(c.markers.empty());  // sender 1 still owes one item
+  es.sender_dead(1, c.on_data(), c.on_marker());
+  ASSERT_EQ(c.markers.size(), 1u);
+  EXPECT_EQ(c.markers[0].second, 2u);  // both delivered items counted
+  EXPECT_EQ(c.data.size(), 2u);
+  EXPECT_EQ(es.epochs_repaired(), 1u);
+}
+
+TEST(EpochSequencer, DeadSenderReleasesHeldFutureEpochItems) {
+  // Sender 0 raced ahead into epoch 1 while sender 1 held epoch 0 open by
+  // dying: the repair must flush the held items, not strand them.
+  EpochSequencer<int> es(2);
+  Collector c;
+  es.sentinel(0, 0u, 0, c.on_data(), c.on_marker());
+  es.data(1, 0u, 100, c.on_data(), c.on_marker());
+  EXPECT_EQ(es.held_count(), 1u);
+  es.sender_dead(1, c.on_data(), c.on_marker());
+  ASSERT_EQ(c.markers.size(), 1u);
+  EXPECT_EQ(es.held_count(), 0u);
+  ASSERT_EQ(c.data.size(), 1u);
+  EXPECT_EQ(c.data[0], 100);
+  // Epoch 1 then completes with sender 0 alone.
+  es.sentinel(1, 0u, 1, c.on_data(), c.on_marker());
+  EXPECT_EQ(es.epochs_completed(), 2u);
+  EXPECT_EQ(es.epochs_repaired(), 2u);
+}
+
+TEST(EpochSequencer, AllSendersDeadCompletesOnlyEvidencedEpochs) {
+  // With everyone dead, epochs with direct evidence complete — but the
+  // stream must never mint phantom epochs past the evidence.
+  EpochSequencer<int> es(2);
+  Collector c;
+  es.data(0, 0u, 1, c.on_data(), c.on_marker());
+  es.sender_dead(0, c.on_data(), c.on_marker());
+  EXPECT_TRUE(c.markers.empty());  // sender 1 still live and owed
+  es.sender_dead(1, c.on_data(), c.on_marker());
+  ASSERT_EQ(c.markers.size(), 1u);
+  EXPECT_EQ(es.epochs_completed(), 1u);
+  EXPECT_EQ(es.epochs_repaired(), 1u);
+  EXPECT_EQ(es.current_epoch(), 1u);  // stops: no evidence for epoch 1
+}
+
+TEST(EpochSequencer, RevivedSenderReArmsAndStaleResendsDrop) {
+  EpochSequencer<int> es(2);
+  Collector c;
+  es.sentinel(0, 0u, 0, c.on_data(), c.on_marker());
+  es.sender_dead(1, c.on_data(), c.on_marker());  // epoch 0 repairs
+  ASSERT_EQ(c.markers.size(), 1u);
+  es.sender_revived(1);
+  EXPECT_EQ(es.dead_senders(), 0u);
+  // The revived sender re-serves the already-repaired epoch 0: the data
+  // drops as stale (counted), the sentinel is ignored.
+  EXPECT_FALSE(es.data(0, 1u, 5, c.on_data(), c.on_marker()));
+  es.sentinel(0, 1u, 1, c.on_data(), c.on_marker());
+  EXPECT_EQ(es.stale_drops(), 1u);
+  EXPECT_EQ(c.markers.size(), 1u);
+  EXPECT_TRUE(c.data.empty());
+  // Epoch 1 requires BOTH senders again — revival re-arms the gate.
+  es.sentinel(1, 0u, 0, c.on_data(), c.on_marker());
+  EXPECT_EQ(c.markers.size(), 1u);
+  es.sentinel(1, 1u, 0, c.on_data(), c.on_marker());
+  ASSERT_EQ(c.markers.size(), 2u);
+  EXPECT_EQ(es.epochs_repaired(), 1u);  // epoch 1 completed at full strength
+}
+
+TEST(EpochSequencer, AnonymousDeathFallsBackToGlobalCounting) {
+  // A muxed source cannot attribute — each kUnattributed death writes off
+  // one sender and completion falls back to global sentinel/item counts.
+  EpochSequencer<int> es(2);
+  Collector c;
+  es.sentinel(0, 1, c.on_data(), c.on_marker());  // unattributed overload
+  es.data(0, 7, c.on_data(), c.on_marker());
+  EXPECT_TRUE(c.markers.empty());
+  es.sender_dead(EpochSequencer<int>::kUnattributed, c.on_data(), c.on_marker());
+  ASSERT_EQ(c.markers.size(), 1u);
+  EXPECT_EQ(es.epochs_repaired(), 1u);
+  EXPECT_EQ(es.dead_senders(), 1u);
+}
+
+TEST(EpochSequencer, FinishRepairsEvidencedEpochsButNeverMintsGaps) {
+  // End-of-stream repair walks evidenced epochs in order and stops at the
+  // first gap: epoch 2's held item stays for the host to account.
+  EpochSequencer<int> es(1);
+  Collector c;
+  es.data(0, 1, c.on_data(), c.on_marker());
+  es.data(2, 3, c.on_data(), c.on_marker());  // epoch 1 never seen
+  es.finish(c.on_data(), c.on_marker());
+  ASSERT_EQ(c.markers.size(), 1u);
+  EXPECT_EQ(c.markers[0].first, 0u);
+  EXPECT_EQ(es.current_epoch(), 1u);
+  EXPECT_EQ(es.held_count(), 1u);
+  EXPECT_EQ(es.epochs_repaired(), 1u);
+}
+
+TEST(EpochSequencer, DuplicateSentinelReplacesAnnouncement) {
+  // A revived sender re-announces an epoch it sentineled before dying: the
+  // new count replaces the old one instead of double-counting.
+  EpochSequencer<int> es(2);
+  Collector c;
+  es.sentinel(0, 0u, 3, c.on_data(), c.on_marker());
+  es.sentinel(0, 0u, 1, c.on_data(), c.on_marker());  // replaces, not adds
+  es.data(0, 0u, 10, c.on_data(), c.on_marker());
+  es.sentinel(0, 1u, 0, c.on_data(), c.on_marker());
+  ASSERT_EQ(c.markers.size(), 1u);
+  EXPECT_EQ(c.markers[0].second, 1u);     // expected reflects the replacement
+  EXPECT_EQ(es.epochs_repaired(), 0u);    // full-strength completion
 }
 
 }  // namespace

@@ -12,8 +12,16 @@
 //       [--adaptive-pool] [--adaptive-min 1] [--adaptive-max 0]
 //       [--lane-class interactive|bulk] [--lane-weight 1] [--lane-rate 0]
 //       [--cache-mb 0] [--cache-policy clock|lru]
+//       [--retry-max 1] [--retry-deadline 0]
 //       [--stats-json PATH] [--stats-interval SECS]
 //       [--trace] [--trace-ring 16] [--trace-wire] [--trace-dump PATH]
+//
+// --retry-max / --retry-deadline give the TCP connect path a bounded
+// exponential-backoff window (net::RetryPolicy) so the daemon may start
+// before its receiver is listening. --retry-max counts TOTAL attempts
+// including the first (1 = historical fail-fast, 0 = unlimited until the
+// deadline); --retry-deadline bounds the whole window in ms (0 = none).
+// shm needs no connect retry — the daemon side creates the segment.
 //
 // --transport shm replaces the TCP connection with a shared-memory segment
 // (created by this daemon, unlinked at exit; --connect is then unused).
@@ -72,6 +80,8 @@ int main(int argc, char** argv) {
   std::size_t batch = 128, threads = 2, streams = 2, hwm = 16;
   std::size_t pool = 0, prefetch = 16, cache_mb = 0;
   std::size_t adaptive_min = 1, adaptive_max = 0;
+  std::size_t retry_max = 1;
+  std::uint64_t retry_deadline_ms = 0;
   bool serial = false, adaptive = false;
   std::uint32_t epochs = 1;
   std::uint64_t seed = 1234;
@@ -109,6 +119,8 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--lane-rate")) lane_rate = std::strtoull(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--cache-mb")) cache_mb = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--cache-policy")) cache_policy = next();
+    else if (!std::strcmp(argv[i], "--retry-max")) retry_max = std::strtoul(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--retry-deadline")) retry_deadline_ms = std::strtoull(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--stats-json")) stats_json = next();
     else if (!std::strcmp(argv[i], "--stats-interval")) stats_interval = std::strtod(next(), nullptr);
     else if (!std::strcmp(argv[i], "--trace")) trace = true;
@@ -123,6 +135,7 @@ int main(int argc, char** argv) {
                            "[--adaptive-pool] [--adaptive-min N] [--adaptive-max N] "
                            "[--lane-class interactive|bulk] [--lane-weight W] [--lane-rate N] "
                            "[--cache-mb MB] [--cache-policy clock|lru] "
+                           "[--retry-max N] [--retry-deadline MS] "
                            "[--stats-json PATH] [--stats-interval SECS] "
                            "[--trace] [--trace-ring K] [--trace-wire] [--trace-dump PATH]\n");
       return 2;
@@ -198,6 +211,8 @@ int main(int argc, char** argv) {
       net::PushPullOptions opts;
       opts.high_water_mark = hwm;
       opts.num_streams = streams;
+      opts.connect_retry.max_attempts = retry_max;
+      opts.connect_retry.deadline = std::chrono::milliseconds(retry_deadline_ms);
       sink = std::make_shared<net::PushSocket>(host, port, opts);
     }
 

@@ -7,8 +7,21 @@
 //       [--decode-threads N] [--serial]
 //       [--adaptive-pool] [--adaptive-min 1] [--adaptive-max 0]
 //       [--lane-class interactive|bulk] [--lane-weight 1] [--lane-rate 0]
+//       [--retry-max 1] [--retry-deadline 0]
 //       [--stats-json PATH] [--stats-interval SECS]
 //       [--trace] [--trace-ring 16] [--trace-dump PATH]
+//
+// --retry-max / --retry-deadline open a reconnect window (net::RetryPolicy
+// backoff schedule). With the shm transport the source is wrapped in a
+// net::ReconnectingSource: when the daemon dies mid-stream (pid probe), the
+// receiver declares the sender dead — in-flight epochs complete degraded and
+// are counted in epochs_repaired — then re-attaches to the segment a
+// restarted daemon recreates, within the window. --retry-max counts TOTAL
+// attempts per outage including the first (1 = a single re-attach try, 0 =
+// unlimited until the deadline); --retry-deadline bounds each outage's
+// window in ms (0 = none). With TCP the PULL socket already accepts
+// reconnections forever; a transport-level peer error still ends the stream
+// with a dead-peer mark so the receiver repairs instead of wedging.
 //
 // --transport shm attaches to the shared-memory segment a same-host
 // emlio_daemon --transport shm creates (names must match); the receiver
@@ -47,6 +60,7 @@
 #include "core/stats_stream.h"
 #include "json/json.h"
 #include "net/push_pull.h"
+#include "net/reconnect.h"
 #include "net/shm_channel.h"
 #include "train/trainer.h"
 
@@ -61,6 +75,8 @@ int main(int argc, char** argv) {
   std::uint64_t expected = 0;
   std::size_t decode_threads = 0;
   std::size_t adaptive_min = 1, adaptive_max = 0;
+  std::size_t retry_max = 1;
+  std::uint64_t retry_deadline_ms = 0;
   bool serial = false, adaptive = false;
   std::string stats_json;
   std::string lane_class = "interactive";
@@ -91,6 +107,8 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--lane-class")) lane_class = next();
     else if (!std::strcmp(argv[i], "--lane-weight")) lane_weight = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--lane-rate")) lane_rate = std::strtoull(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--retry-max")) retry_max = std::strtoul(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--retry-deadline")) retry_deadline_ms = std::strtoull(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--stats-interval")) stats_interval = std::strtod(next(), nullptr);
     else if (!std::strcmp(argv[i], "--trace")) trace = true;
     else if (!std::strcmp(argv[i], "--trace-ring")) trace_ring = std::strtoul(next(), nullptr, 10);
@@ -102,6 +120,7 @@ int main(int argc, char** argv) {
                    "[--decode-threads N] [--serial] "
                    "[--adaptive-pool] [--adaptive-min N] [--adaptive-max N] "
                    "[--lane-class interactive|bulk] [--lane-weight W] [--lane-rate N] "
+                   "[--retry-max N] [--retry-deadline MS] "
                    "[--stats-json PATH] [--stats-interval SECS] "
                    "[--trace] [--trace-ring K] [--trace-dump PATH]\n");
       return 2;
@@ -136,15 +155,46 @@ int main(int argc, char** argv) {
   try {
     std::unique_ptr<net::PullSocket> pull;
     std::unique_ptr<net::MessageSource> source;
+    // Set once the receiver exists; the reconnect callbacks fire from the
+    // receiver's own ingest thread, which cannot run before then.
+    core::Receiver* receiver_ptr = nullptr;
+    net::ReconnectingSource* reconnector = nullptr;
+    const bool reconnect_window = retry_max != 1 || retry_deadline_ms > 0;
     if (use_shm) {
       // The daemon creates the segment; wait for it so start order does not
       // matter (the shm analogue of TCP's receiver-first convention).
-      source = net::ShmMessageSource::attach_wait(shm_name,
-                                                  std::chrono::milliseconds(shm_wait_ms));
+      auto inner = net::ShmMessageSource::attach_wait(shm_name,
+                                                      std::chrono::milliseconds(shm_wait_ms));
       std::printf("emlio_receive: attached to shm segment %s (%u epoch(s), decode %s)\n",
                   shm_name.c_str(), epochs,
                   decode_threads ? (std::to_string(decode_threads) + " pooled threads").c_str()
                                  : "serial");
+      if (reconnect_window) {
+        // Survive a daemon crash: when the pid probe declares the creator
+        // dead, mark the sender dead (in-flight epochs repair) and re-attach
+        // to the segment a restarted daemon recreates. Attaching to the
+        // stale segment throws, which just burns one retry attempt.
+        net::RetryOptions ro;
+        ro.max_attempts = retry_max;
+        ro.deadline = std::chrono::milliseconds(retry_deadline_ms);
+        net::ReconnectEvents ev;
+        ev.on_down = [&receiver_ptr] {
+          if (receiver_ptr) receiver_ptr->note_sender_dead(0);
+        };
+        ev.on_up = [&receiver_ptr] {
+          if (receiver_ptr) receiver_ptr->note_sender_revived(0);
+        };
+        auto wrapped = std::make_unique<net::ReconnectingSource>(
+            std::move(inner),
+            [shm_name]() -> std::unique_ptr<net::MessageSource> {
+              return std::make_unique<net::ShmMessageSource>(shm_name);
+            },
+            ro, std::move(ev));
+        reconnector = wrapped.get();
+        source = std::move(wrapped);
+      } else {
+        source = std::move(inner);
+      }
     } else {
       pull = std::make_unique<net::PullSocket>(port, /*queue_capacity=*/64);
       std::printf("emlio_receive: listening on 127.0.0.1:%u (%zu sender(s), %u epoch(s), "
@@ -152,11 +202,20 @@ int main(int argc, char** argv) {
                   pull->port(), senders, epochs,
                   decode_threads ? (std::to_string(decode_threads) + " pooled threads").c_str()
                                  : "serial");
+      // Surface connection churn: the PULL socket keeps accepting forever (a
+      // restarted daemon just reconnects), so the "reconnect window" here is
+      // only observability plus the dead-peer mark PullSocket raises on
+      // transport errors, which the receiver turns into epoch repair.
+      pull->set_peer_callback([](bool connected) {
+        std::fprintf(stderr, "emlio_receive: peer %s\n",
+                     connected ? "connected" : "disconnected");
+      });
 
       struct PullSource final : net::MessageSource {
         explicit PullSource(net::PullSocket* s) : socket(s) {}
         std::optional<Payload> recv() override { return socket->recv(); }
         void close() override { socket->close(); }
+        net::SourceEnd end_state() const override { return socket->end_state(); }
         net::PullSocket* socket;
       };
       source = std::make_unique<PullSource>(pull.get());
@@ -173,7 +232,10 @@ int main(int argc, char** argv) {
     if (!trace_dump.empty()) trace = true;  // a dump without tracing is empty
     rc.trace = trace;
     rc.trace_ring = trace_ring;
+    rc.reconnect.max_attempts = retry_max;
+    rc.reconnect.deadline = std::chrono::milliseconds(retry_deadline_ms);
     core::Receiver receiver(rc, std::move(source));
+    receiver_ptr = &receiver;
     std::optional<core::StatsStreamer> streamer;
     if (stats_interval > 0.0) {
       core::StatsStreamer::Options so;
@@ -224,6 +286,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.queue_peak_depth),
                 static_cast<double>(stats.decode_ns) / 1e6,
                 static_cast<unsigned long long>(stats.dropped_on_close));
+    if (stats.epochs_repaired || stats.dropped_dead_sender || reconnector) {
+      std::printf("emlio_receive: fault tolerance — %llu epoch(s) repaired, "
+                  "%llu batch(es) dropped for dead senders, %llu reconnect(s)\n",
+                  static_cast<unsigned long long>(stats.epochs_repaired),
+                  static_cast<unsigned long long>(stats.dropped_dead_sender),
+                  static_cast<unsigned long long>(reconnector ? reconnector->reconnects() : 0));
+    }
     if (adaptive) {
       std::printf("emlio_receive: governor — %llu resizes, decode pool now %llu threads "
                   "(peak %llu)\n",

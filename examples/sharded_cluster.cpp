@@ -75,9 +75,9 @@ int main() {
     for (auto pos : shard_positions) readers.emplace_back(indexes[pos]);
     std::map<std::uint32_t, std::shared_ptr<net::MessageSink>> daemon_sinks{
         {0u, sinks[id][0]}, {1u, sinks[id][1]}};
-    return std::make_unique<core::Daemon>(
-        core::DaemonConfig{"daemon" + std::to_string(id), false}, std::move(readers),
-        daemon_sinks);
+    core::DaemonConfig cfg;
+    cfg.daemon_id = "daemon" + std::to_string(id);
+    return std::make_unique<core::Daemon>(cfg, std::move(readers), daemon_sinks);
   };
   auto d0 = make_daemon(0, {0, 1});
   auto d1 = make_daemon(1, {2, 3});

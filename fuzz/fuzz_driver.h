@@ -1,0 +1,66 @@
+// Entry-point glue shared by every fuzz harness in this directory.
+//
+// Each harness defines the libFuzzer entry point
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+// and includes this header LAST. Under clang the real libFuzzer driver links
+// in via -fsanitize=fuzzer and this header adds nothing. Under
+// EMLIO_FUZZ_STANDALONE (the GCC / CI-smoke configuration) it supplies a
+// main() that replays every file passed on the command line — directories
+// are walked recursively — through the harness once. That turns the same
+// binary into a corpus regression runner: no crash, exit 0.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+#if defined(EMLIO_FUZZ_STANDALONE)
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+namespace emlio_fuzz {
+
+inline int run_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "fuzz: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  return 0;
+}
+
+}  // namespace emlio_fuzz
+
+int main(int argc, char** argv) {
+  std::size_t ran = 0;
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    if (std::filesystem::is_directory(arg)) {
+      for (const auto& entry : std::filesystem::recursive_directory_iterator(arg)) {
+        if (!entry.is_regular_file()) continue;
+        failures += emlio_fuzz::run_file(entry.path());
+        ++ran;
+      }
+    } else {
+      failures += emlio_fuzz::run_file(arg);
+      ++ran;
+    }
+  }
+  if (ran == 0) {
+    // No corpus given: at least exercise the empty input.
+    LLVMFuzzerTestOneInput(nullptr, 0);
+    ran = 1;
+  }
+  std::printf("fuzz: replayed %zu input(s), %d unreadable\n", ran, failures);
+  return failures == 0 ? 0 : 1;
+}
+
+#endif  // EMLIO_FUZZ_STANDALONE

@@ -1,0 +1,27 @@
+// Fuzz the frame-header parser — the first decision point between bytes
+// arriving off a TCP socket and a payload allocation. parse_frame_header
+// must accept exactly {magic, length ≤ 1 GiB} and throw std::runtime_error
+// on everything else; no input may crash it or coax an oversized length
+// through.
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+
+#include "net/framing.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::span<const std::uint8_t> bytes(data, size);
+  try {
+    const std::uint32_t length = emlio::net::parse_frame_header(bytes);
+    // Accepted headers must honor the documented bounds.
+    if (length > emlio::net::kMaxFrameBytes) __builtin_trap();
+    std::uint32_t magic = 0;
+    std::memcpy(&magic, data, 4);
+    if (magic != emlio::net::kFrameMagic) __builtin_trap();
+  } catch (const std::runtime_error&) {
+  }
+  return 0;
+}
+
+#include "fuzz_driver.h"

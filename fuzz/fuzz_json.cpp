@@ -1,0 +1,26 @@
+// Fuzz the JSON parser (shard index files, testbed configs, bench output).
+//
+// A shard index is read from disk at startup; a corrupt or hostile file must
+// produce std::runtime_error with position info — never a crash. The
+// historically interesting case is deep nesting: parse_value recurses per
+// level, so "[[[[..." documents probed the stack until the depth cap landed.
+// Round-trip property on accepted documents: dump() must itself re-parse.
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+
+#include "json/json.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    emlio::json::Value v = emlio::json::parse(text);
+    // Serializer must emit valid JSON for anything the parser accepted.
+    emlio::json::Value again = emlio::json::parse(v.dump());
+    (void)again;
+  } catch (const std::runtime_error&) {
+  }
+  return 0;
+}
+
+#include "fuzz_driver.h"

@@ -1,0 +1,47 @@
+// Fuzz the MessagePack decoder and the batch codec on top of it.
+//
+// Every byte of input is attacker-controlled wire data as far as the
+// receiver is concerned (a confused peer, a corrupted frame, a hostile
+// sender). The contract under test: decoding either succeeds or throws
+// std::runtime_error (malformed) / std::out_of_range (truncated) — it never
+// crashes, hangs, overflows, or reads outside the input span.
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+
+#include "msgpack/batch_codec.h"
+#include "msgpack/msgpack.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::span<const std::uint8_t> bytes(data, size);
+
+  // Generic value decoder: owning Value tree.
+  try {
+    emlio::msgpack::Value v = emlio::msgpack::decode(bytes);
+    (void)v;
+  } catch (const std::runtime_error&) {
+  } catch (const std::out_of_range&) {
+  }
+
+  // skip_value: the unknown-key tolerance path walks the same wire bytes
+  // without materializing values; it must agree with next() on what "one
+  // complete value" is and must bound its recursion identically.
+  try {
+    emlio::msgpack::Decoder dec(bytes);
+    while (!dec.done()) dec.skip_value();
+  } catch (const std::runtime_error&) {
+  } catch (const std::out_of_range&) {
+  }
+
+  // Batch codec: schema-checked decode with zero-copy sample views into the
+  // input buffer.
+  try {
+    emlio::msgpack::WireBatch batch = emlio::msgpack::BatchCodec::decode(bytes);
+    (void)batch.payload_bytes();
+  } catch (const std::runtime_error&) {
+  } catch (const std::out_of_range&) {
+  }
+  return 0;
+}
+
+#include "fuzz_driver.h"

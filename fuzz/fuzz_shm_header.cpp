@@ -1,0 +1,44 @@
+// Fuzz the shared-memory attach-time header gauntlet.
+//
+// An attacher maps whatever bytes happen to live under the shm name — a
+// crashed daemon's leftovers, a different program's segment, or garbage —
+// and check_shm_header is the only thing standing between those bytes and
+// ring/slab pointer arithmetic. The contract: every input either attaches
+// (kReady), retries (kRetry), or throws std::runtime_error. In particular
+// the geometry checks must reject corrupt slab_count/slab_bytes BEFORE the
+// layout math can overflow or spin (next_pow2 on slab_count > 2^31 used to
+// loop forever).
+//
+// Input layout: the first sizeof(ShmSegmentHeader) bytes overlay the header
+// (zero-padded when short); the next 8 bytes, if present, pick mapped_bytes.
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "net/shm_segment.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  emlio::net::ShmSegmentHeader hdr{};
+  std::memcpy(static_cast<void*>(&hdr), data, size < sizeof(hdr) ? size : sizeof(hdr));
+
+  std::uint64_t mapped = sizeof(hdr);
+  if (size >= sizeof(hdr) + 8) {
+    std::memcpy(&mapped, data + sizeof(hdr), 8);
+  }
+  // A corrupt pid must not resolve to a live-looking process by accident in
+  // ways that change coverage run-to-run; pin it to our own (always alive)
+  // unless the fuzzer is explicitly exploring the zero "never registered"
+  // case. The liveness probe itself is kill(pid, 0) — side-effect free.
+  if (hdr.creator_pid != 0) hdr.creator_pid = static_cast<std::uint32_t>(::getpid());
+
+  try {
+    (void)emlio::net::check_shm_header(hdr, static_cast<std::size_t>(mapped), "/fuzz");
+  } catch (const std::runtime_error&) {
+  }
+  return 0;
+}
+
+#include "fuzz_driver.h"

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/debug.h"
+
 namespace emlio::cache {
 
 std::optional<CachePolicy> parse_policy(std::string_view name) {
@@ -27,6 +29,22 @@ SampleCache::SampleCache(SampleCacheConfig config) : config_(config) {
   for (std::size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
 }
 
+SampleCache::~SampleCache() {
+#if EMLIO_AUDITS_ENABLED
+  // Conservation: every admitted entry is either still resident or was
+  // evicted — there is no third exit. A mismatch means the eviction paths
+  // and the insert path disagree about what is in the cache.
+  std::uint64_t inserts = 0, evictions = 0, entries = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    inserts += shard->inserts;
+    evictions += shard->evictions;
+    entries += shard->entries.size();
+  }
+  EMLIO_AUDIT_EQ("cache entry conservation", inserts, evictions + entries);
+#endif
+}
+
 SampleCache::Shard& SampleCache::shard_for(const SampleKey& key) {
   return *shards_[SampleKeyHash{}(key) % shards_.size()];
 }
@@ -43,7 +61,7 @@ void SampleCache::note_resident(std::int64_t delta) {
 
 std::optional<PayloadView> SampleCache::find(const SampleKey& key) {
   Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     ++shard.misses;
@@ -121,7 +139,7 @@ std::optional<PayloadView> SampleCache::insert(const SampleKey& key,
                                                std::span<const std::uint8_t> bytes) {
   Shard& shard = shard_for(key);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     if (auto it = shard.map.find(key); it != shard.map.end()) {
       // Records are immutable; the resident copy is the same bytes.
       return PayloadView(it->second->payload);
@@ -138,7 +156,7 @@ std::optional<PayloadView> SampleCache::insert(const SampleKey& key,
   // record-sized memcpys on one mutex; warm hits are copy-free.
   Payload copy = Payload::copy_of(bytes);
 
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   if (auto it = shard.map.find(key); it != shard.map.end()) {
     // Another thread populated the key while we copied; drop our copy.
     return PayloadView(it->second->payload);
@@ -162,7 +180,7 @@ std::optional<PayloadView> SampleCache::insert(const SampleKey& key,
 SampleCacheStats SampleCache::stats() const {
   SampleCacheStats s;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     s.hits += shard->hits;
     s.misses += shard->misses;
     s.inserts += shard->inserts;
@@ -179,7 +197,7 @@ SampleCacheStats SampleCache::stats() const {
 void SampleCache::clear() {
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (auto it = shard.entries.begin(); it != shard.entries.end();) {
       if (it->payload.use_count() > 1) {
         ++shard.pinned_skips;

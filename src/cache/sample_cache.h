@@ -39,7 +39,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -47,7 +46,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/payload.h"
+#include "common/thread_annotations.h"
 
 namespace emlio::cache {
 
@@ -114,6 +115,10 @@ class SampleCache {
  public:
   explicit SampleCache(SampleCacheConfig config);
 
+  /// Audits per-shard conservation at teardown (audited builds):
+  /// inserts == evictions + resident entries.
+  ~SampleCache();
+
   SampleCache(const SampleCache&) = delete;
   SampleCache& operator=(const SampleCache&) = delete;
 
@@ -147,28 +152,28 @@ class SampleCache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
+    mutable Mutex mu;
     /// LRU: front = MRU, back = LRU. CLOCK: insertion ring walked by `hand`.
-    std::list<Entry> entries;
-    std::unordered_map<SampleKey, std::list<Entry>::iterator, SampleKeyHash> map;
-    std::list<Entry>::iterator hand = entries.end();  ///< CLOCK hand
-    std::size_t bytes = 0;
+    std::list<Entry> entries EMLIO_GUARDED_BY(mu);
+    std::unordered_map<SampleKey, std::list<Entry>::iterator, SampleKeyHash> map
+        EMLIO_GUARDED_BY(mu);
+    std::list<Entry>::iterator hand EMLIO_GUARDED_BY(mu) = entries.end();  ///< CLOCK hand
+    std::size_t bytes EMLIO_GUARDED_BY(mu) = 0;
 
     // Per-shard counters, summed by stats().
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t inserts = 0;
-    std::uint64_t evictions = 0;
-    std::uint64_t pinned_skips = 0;
-    std::uint64_t rejected = 0;
+    std::uint64_t hits EMLIO_GUARDED_BY(mu) = 0;
+    std::uint64_t misses EMLIO_GUARDED_BY(mu) = 0;
+    std::uint64_t inserts EMLIO_GUARDED_BY(mu) = 0;
+    std::uint64_t evictions EMLIO_GUARDED_BY(mu) = 0;
+    std::uint64_t pinned_skips EMLIO_GUARDED_BY(mu) = 0;
+    std::uint64_t rejected EMLIO_GUARDED_BY(mu) = 0;
   };
 
   Shard& shard_for(const SampleKey& key);
   /// Evict until `need` more bytes fit in `shard`'s budget slice. Returns
-  /// false when it cannot (every scanned candidate pinned). Caller holds
-  /// shard.mu.
-  bool make_room(Shard& shard, std::size_t need);
-  void evict_entry(Shard& shard, std::list<Entry>::iterator it);
+  /// false when it cannot (every scanned candidate pinned).
+  bool make_room(Shard& shard, std::size_t need) EMLIO_REQUIRES(shard.mu);
+  void evict_entry(Shard& shard, std::list<Entry>::iterator it) EMLIO_REQUIRES(shard.mu);
   void note_resident(std::int64_t delta);
 
   SampleCacheConfig config_;

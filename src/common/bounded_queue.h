@@ -9,11 +9,12 @@
 // backpressure from the GPU all the way to the disk.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace emlio {
 
@@ -32,12 +33,13 @@ class BoundedQueue {
   /// the value, so a producer that must not lose work can recover it. (The
   /// old contract silently destroyed items rejected by a mid-wait close.)
   bool push(T& item) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
-    if (closed_) return false;  // item untouched, recoverable by the caller
-    items_.push_back(std::move(item));
-    if (items_.size() > peak_) peak_ = items_.size();
-    lock.unlock();
+    {
+      MutexLock lock(mutex_);
+      while (items_.size() >= capacity_ && !closed_) not_full_.wait(mutex_);
+      if (closed_) return false;  // item untouched, recoverable by the caller
+      items_.push_back(std::move(item));
+      if (items_.size() > peak_) peak_ = items_.size();
+    }
     not_empty_.notify_one();
     return true;
   }
@@ -50,7 +52,7 @@ class BoundedQueue {
   /// value on rejection (same recovery contract as push).
   bool try_push(T& item) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
       if (items_.size() > peak_) peak_ = items_.size();
@@ -63,23 +65,27 @@ class BoundedQueue {
 
   /// Blocking pop. Empty optional means the queue was closed and drained.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
+    std::optional<T> item;
+    {
+      MutexLock lock(mutex_);
+      while (items_.empty() && !closed_) not_empty_.wait(mutex_);
+      if (items_.empty()) return std::nullopt;
+      item.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
     not_full_.notify_one();
     return item;
   }
 
   /// Non-blocking pop.
   std::optional<T> try_pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
+    std::optional<T> item;
+    {
+      MutexLock lock(mutex_);
+      if (items_.empty()) return std::nullopt;
+      item.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
     not_full_.notify_one();
     return item;
   }
@@ -88,7 +94,7 @@ class BoundedQueue {
   /// nullopt. Idempotent.
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     not_full_.notify_all();
@@ -96,12 +102,12 @@ class BoundedQueue {
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
@@ -109,7 +115,7 @@ class BoundedQueue {
   /// already holds — producers that used to re-lock the queue after every
   /// push just to sample size() read this once, on the cold stats path.
   std::size_t peak_depth() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return peak_;
   }
 
@@ -117,12 +123,12 @@ class BoundedQueue {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  std::size_t peak_ = 0;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ EMLIO_GUARDED_BY(mutex_);
+  std::size_t peak_ EMLIO_GUARDED_BY(mutex_) = 0;
+  bool closed_ EMLIO_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace emlio

@@ -1,0 +1,78 @@
+// Debug invariant auditing: EMLIO_DCHECK / EMLIO_AUDIT_EQ.
+//
+// The engines document exact conservation equations (daemon: per-lane
+// encoded == sent + dropped; receiver: batches_received == delivered +
+// dropped_on_close + dropped_dead_sender; cache: inserts == evictions +
+// entries). These macros assert them at teardown — loudly, with the actual
+// values — in audited builds, and compile to nothing in plain release
+// builds so the hot path and the shipped binaries are unchanged.
+//
+// Audited builds: CMake defines EMLIO_ENABLE_AUDITS for Debug and for any
+// EMLIO_SANITIZE build (or explicitly via -DEMLIO_ENABLE_AUDITS=ON), so the
+// ASan/UBSan/TSan CI jobs exercise every audit across the full ctest suite.
+//
+// In unaudited builds the condition is still compiled (inside a
+// never-evaluated `false &&`), so audit-only expressions cannot rot and
+// variables they mention never trip -Werror=unused.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(EMLIO_ENABLE_AUDITS)
+#define EMLIO_AUDITS_ENABLED 1
+#else
+#define EMLIO_AUDITS_ENABLED 0
+#endif
+
+namespace emlio::debug {
+
+[[noreturn]] inline void audit_fail(const char* file, int line, const char* what) {
+  std::fprintf(stderr, "emlio audit failed at %s:%d: %s\n", file, line, what);
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] inline void audit_eq_fail(const char* file, int line, const char* what,
+                                       const char* lhs_expr, std::uint64_t lhs,
+                                       const char* rhs_expr, std::uint64_t rhs) {
+  std::fprintf(stderr,
+               "emlio audit failed at %s:%d: %s\n  %s = %llu\n  %s = %llu\n",
+               file, line, what, lhs_expr, static_cast<unsigned long long>(lhs), rhs_expr,
+               static_cast<unsigned long long>(rhs));
+  std::fflush(stderr);
+  std::abort();
+}
+
+inline void audit_eq(const char* file, int line, const char* what, const char* lhs_expr,
+                     std::uint64_t lhs, const char* rhs_expr, std::uint64_t rhs) {
+  if (lhs != rhs) audit_eq_fail(file, line, what, lhs_expr, lhs, rhs_expr, rhs);
+}
+
+}  // namespace emlio::debug
+
+#if EMLIO_AUDITS_ENABLED
+
+/// Assert a boolean invariant in audited builds; abort with location on
+/// failure. Use EMLIO_AUDIT_EQ for conservation equations — it prints both
+/// sides.
+#define EMLIO_DCHECK(cond)                                          \
+  do {                                                              \
+    if (!(cond)) ::emlio::debug::audit_fail(__FILE__, __LINE__, #cond); \
+  } while (0)
+
+/// Assert `lhs == rhs` (both convertible to uint64) in audited builds,
+/// printing the label and both values on failure.
+#define EMLIO_AUDIT_EQ(what, lhs, rhs)                                                       \
+  ::emlio::debug::audit_eq(__FILE__, __LINE__, (what), #lhs, static_cast<std::uint64_t>(lhs), \
+                           #rhs, static_cast<std::uint64_t>(rhs))
+
+#else
+
+#define EMLIO_DCHECK(cond) ((void)(false && static_cast<bool>(cond)))
+#define EMLIO_AUDIT_EQ(what, lhs, rhs)                                     \
+  ((void)(false && ((void)(what), static_cast<std::uint64_t>(lhs) ==      \
+                                      static_cast<std::uint64_t>(rhs))))
+
+#endif

@@ -35,23 +35,26 @@
 // closed lane drains without rate limiting so shutdown stays prompt.
 //
 // Counter convention: all lane counters are independent relaxed atomics —
-// see the stats documentation on core::DaemonStats.
+// see the stats documentation on core::DaemonStats. Locking discipline is
+// machine-checked (common/thread_annotations.h): queue and token-bucket
+// state is EMLIO_GUARDED_BY(mu_), scheduler state by the shared hub's mutex.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace emlio {
 
@@ -125,9 +128,9 @@ inline void accumulate(LaneStats& into, const LaneStats& add) {
 /// makes the classic missed-wakeup race impossible without the scheduler
 /// holding any lane's lock while sleeping.
 struct LaneHub {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::uint64_t events = 0;
+  Mutex mu;
+  CondVar cv;
+  std::uint64_t events EMLIO_GUARDED_BY(mu) = 0;
 };
 
 /// Deficit-weighted round-robin arbiter core. See the header comment.
@@ -203,6 +206,7 @@ class Lane {
         id_(next_id().fetch_add(1, std::memory_order_relaxed)) {
     qos_.weight = std::max<std::uint32_t>(qos_.weight, 1);
     if (qos_.rate_per_sec > 0) {
+      MutexLock lock(mu_);
       burst_ = std::max(1.0, static_cast<double>(qos_.rate_per_sec) / 20.0);
       tokens_ = burst_;
       last_refill_ = ClockT::now();
@@ -229,11 +233,11 @@ class Lane {
   /// counts one enqueue stall.
   bool push(T& item) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (items_.size() >= capacity_ && !closed_) {
         enqueue_stalls_.fetch_add(1, std::memory_order_relaxed);
       }
-      not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+      while (items_.size() >= capacity_ && !closed_) not_full_.wait(mu_);
       if (closed_) return false;
       items_.push_back(std::move(item));
       if (items_.size() > peak_) peak_ = items_.size();
@@ -250,7 +254,7 @@ class Lane {
   /// batch) use note_enqueue_stall().
   bool try_push(T& item) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
       if (items_.size() > peak_) peak_ = items_.size();
@@ -266,39 +270,46 @@ class Lane {
   /// so shutdown stays prompt). Empty at entry counts one dequeue stall.
   /// nullopt = closed and drained.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (items_.empty() && !closed_) {
-      dequeue_stalls_.fetch_add(1, std::memory_order_relaxed);
+    std::optional<T> item;
+    {
+      MutexLock lock(mu_);
+      if (items_.empty() && !closed_) {
+        dequeue_stalls_.fetch_add(1, std::memory_order_relaxed);
+      }
+      for (;;) {
+        while (items_.empty() && !closed_) not_empty_.wait(mu_);
+        if (items_.empty()) return std::nullopt;
+        if (closed_ || qos_.rate_per_sec == 0) break;
+        ClockT::time_point ready;
+        if (take_token_locked(ClockT::now(), &ready)) break;
+        not_empty_.wait_until(mu_, ready);  // re-check: close may interleave
+      }
+      item.emplace(take_front_locked());
     }
-    for (;;) {
-      not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
-      if (items_.empty()) return std::nullopt;
-      if (closed_ || qos_.rate_per_sec == 0) break;
-      ClockT::time_point ready;
-      if (take_token_locked(ClockT::now(), &ready)) break;
-      not_empty_.wait_until(lock, ready);  // re-check: close may interleave
-    }
-    return pop_front_locked(lock);
+    not_full_.notify_one();
+    return item;
   }
 
   /// One DWRR scheduling probe: take the head if the lane has one and a
   /// token matured (consuming the token), else report why not. `ready_at`
   /// is written only for kThrottled.
   Take try_take(T& out, ClockT::time_point now, ClockT::time_point* ready_at) {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (items_.empty()) return closed_ ? Take::kDone : Take::kEmpty;
-    if (!closed_ && qos_.rate_per_sec > 0 && !take_token_locked(now, ready_at)) {
-      return Take::kThrottled;
+    {
+      MutexLock lock(mu_);
+      if (items_.empty()) return closed_ ? Take::kDone : Take::kEmpty;
+      if (!closed_ && qos_.rate_per_sec > 0 && !take_token_locked(now, ready_at)) {
+        return Take::kThrottled;
+      }
+      out = take_front_locked();
     }
-    auto item = pop_front_locked(lock);
-    out = std::move(*item);
+    not_full_.notify_one();
     return Take::kItem;
   }
 
   /// Cheap probe for the scheduler's DWRR ready() predicate: head present
   /// and servable right now (token peeked, not consumed).
   bool servable(ClockT::time_point now) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (items_.empty()) return false;
     if (closed_ || qos_.rate_per_sec == 0) return true;
     ClockT::time_point ignored;
@@ -312,7 +323,7 @@ class Lane {
     ClockT::time_point ready_at{};  ///< valid when throttled
   };
   WaitHint wait_hint(ClockT::time_point now) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     WaitHint h;
     if (items_.empty()) {
       h.done = closed_;
@@ -327,7 +338,7 @@ class Lane {
   /// Close: pending and future pushes fail, pops drain then nullopt.
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_) return;
       closed_ = true;
     }
@@ -337,12 +348,12 @@ class Lane {
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
@@ -370,7 +381,7 @@ class Lane {
     s.enqueue_stalls = enqueue_stalls_.load(std::memory_order_relaxed);
     s.dequeue_stalls = dequeue_stalls_.load(std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       s.queue_peak_depth = peak_;
       s.closed = closed_;
     }
@@ -383,24 +394,27 @@ class Lane {
     return counter;
   }
 
-  std::optional<T> pop_front_locked(std::unique_lock<std::mutex>& lock) {
+  /// Detach the head (the caller verified it exists) and count the delivery.
+  /// Pure under-the-lock helper — the caller notifies not_full_ after the
+  /// lock drops.
+  T take_front_locked() EMLIO_REQUIRES(mu_) {
     T item = std::move(items_.front());
     items_.pop_front();
     delivered_items_.fetch_add(1, std::memory_order_relaxed);
-    lock.unlock();
-    not_full_.notify_one();
     return item;
   }
 
   /// Refill the bucket to `now`; true + consume when a token is available,
   /// else false with `*ready_at` = when the next token matures.
-  bool take_token_locked(ClockT::time_point now, ClockT::time_point* ready_at) {
+  bool take_token_locked(ClockT::time_point now, ClockT::time_point* ready_at)
+      EMLIO_REQUIRES(mu_) {
     if (!peek_token_locked(now, ready_at)) return false;
     tokens_ -= 1.0;
     return true;
   }
 
-  bool peek_token_locked(ClockT::time_point now, ClockT::time_point* ready_at) {
+  bool peek_token_locked(ClockT::time_point now, ClockT::time_point* ready_at)
+      EMLIO_REQUIRES(mu_) {
     const double rate = static_cast<double>(qos_.rate_per_sec);
     if (now > last_refill_) {
       double dt = std::chrono::duration<double>(now - last_refill_).count();
@@ -417,7 +431,7 @@ class Lane {
   void signal_hub() {
     if (!hub_) return;
     {
-      std::lock_guard<std::mutex> lock(hub_->mu);
+      MutexLock lock(hub_->mu);
       ++hub_->events;
     }
     hub_->cv.notify_all();
@@ -429,17 +443,17 @@ class Lane {
   const std::uint64_t id_;
   std::shared_ptr<LaneHub> hub_;
 
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  std::size_t peak_ = 0;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ EMLIO_GUARDED_BY(mu_);
+  std::size_t peak_ EMLIO_GUARDED_BY(mu_) = 0;
+  bool closed_ EMLIO_GUARDED_BY(mu_) = false;
 
-  // Token bucket, guarded by mu_.
-  double tokens_ = 0.0;
-  double burst_ = 0.0;
-  Lane::ClockT::time_point last_refill_{};
+  // Token bucket.
+  double tokens_ EMLIO_GUARDED_BY(mu_) = 0.0;
+  double burst_ EMLIO_GUARDED_BY(mu_) = 0.0;
+  ClockT::time_point last_refill_ EMLIO_GUARDED_BY(mu_){};
 
   std::atomic<std::uint64_t> delivered_items_{0};
   std::atomic<std::uint64_t> delivered_bytes_{0};
@@ -466,7 +480,7 @@ class LaneScheduler {
     auto lane = std::make_shared<Lane<T>>(std::move(name), capacity, qos);
     lane->attach_hub(hub_);
     {
-      std::lock_guard<std::mutex> lock(hub_->mu);
+      MutexLock lock(hub_->mu);
       lanes_.push_back(lane);
       cycle_.add(qos.weight);
     }
@@ -474,12 +488,12 @@ class LaneScheduler {
   }
 
   std::size_t lane_count() const {
-    std::lock_guard<std::mutex> lock(hub_->mu);
+    MutexLock lock(hub_->mu);
     return lanes_.size();
   }
 
   Lane<T>& lane(std::size_t i) {
-    std::lock_guard<std::mutex> lock(hub_->mu);
+    MutexLock lock(hub_->mu);
     return *lanes_[i];
   }
 
@@ -490,13 +504,16 @@ class LaneScheduler {
     for (;;) {
       std::shared_ptr<Lane<T>> picked;
       std::size_t picked_index = 0;
-      std::uint64_t seen = 0;
       {
-        std::unique_lock<std::mutex> lock(hub_->mu);
-        seen = hub_->events;
+        MutexLock lock(hub_->mu);
+        const std::uint64_t seen = hub_->events;
         auto now = ClockT::now();
-        std::size_t idx =
-            cycle_.pick([&](std::size_t i) { return lanes_[i]->servable(now); });
+        // Local alias: the DWRR predicate below runs synchronously under
+        // hub_->mu (pick() never stashes it), but a lambda body is analyzed
+        // as a separate function, so it reads the lanes through this
+        // lock-checked reference instead of the guarded member.
+        auto& lanes = lanes_;
+        std::size_t idx = cycle_.pick([&](std::size_t i) { return lanes[i]->servable(now); });
         if (idx != WeightedCycle::npos) {
           picked = lanes_[idx];
           picked_index = idx;
@@ -515,9 +532,11 @@ class LaneScheduler {
           }
           if (all_done) return std::nullopt;
           if (any_throttled) {
-            hub_->cv.wait_until(lock, deadline, [&] { return hub_->events != seen; });
+            while (hub_->events == seen) {
+              if (hub_->cv.wait_until(hub_->mu, deadline)) break;  // token matured
+            }
           } else {
-            hub_->cv.wait(lock, [&] { return hub_->events != seen; });
+            while (hub_->events == seen) hub_->cv.wait(hub_->mu);
           }
           continue;
         }
@@ -537,7 +556,7 @@ class LaneScheduler {
   void close_all() {
     std::vector<std::shared_ptr<Lane<T>>> lanes;
     {
-      std::lock_guard<std::mutex> lock(hub_->mu);
+      MutexLock lock(hub_->mu);
       lanes = lanes_;
     }
     for (auto& l : lanes) l->close();
@@ -547,7 +566,7 @@ class LaneScheduler {
   std::vector<LaneStats> stats() const {
     std::vector<std::shared_ptr<Lane<T>>> lanes;
     {
-      std::lock_guard<std::mutex> lock(hub_->mu);
+      MutexLock lock(hub_->mu);
       lanes = lanes_;
     }
     std::vector<LaneStats> out;
@@ -558,8 +577,8 @@ class LaneScheduler {
 
  private:
   std::shared_ptr<LaneHub> hub_;
-  std::vector<std::shared_ptr<Lane<T>>> lanes_;  ///< guarded by hub_->mu
-  WeightedCycle cycle_;                          ///< guarded by hub_->mu
+  std::vector<std::shared_ptr<Lane<T>>> lanes_ EMLIO_GUARDED_BY(hub_->mu);
+  WeightedCycle cycle_ EMLIO_GUARDED_BY(hub_->mu);
 };
 
 }  // namespace emlio

@@ -1,0 +1,109 @@
+// Annotated mutex/condvar wrappers for clang thread-safety analysis.
+//
+// libstdc++'s std::mutex carries no capability attributes, so code locking it
+// is invisible to -Wthread-safety. emlio::Mutex is a zero-cost std::mutex
+// wrapper that IS a capability; fields declared EMLIO_GUARDED_BY(mu_) and
+// functions declared EMLIO_REQUIRES(mu_) are then machine-checked against it
+// (see common/thread_annotations.h and the CI `thread-safety` job).
+//
+// Conventions the analysis imposes on converted code:
+//   - Scoped locking uses MutexLock (the analysis tracks its ctor/dtor);
+//     std::lock_guard/std::unique_lock over a Mutex do not participate.
+//   - Condition waits are explicit loops — `while (!pred) cv.wait(mu);` —
+//     because a predicate lambda's body is analyzed as a separate function
+//     with no lock context.
+//   - Helpers that need the lock held take EMLIO_REQUIRES(mu) instead of
+//     unlocking/relocking internally.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace emlio {
+
+/// A std::mutex that participates in clang thread-safety analysis.
+class EMLIO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() EMLIO_ACQUIRE() { mu_.lock(); }
+  void unlock() EMLIO_RELEASE() { mu_.unlock(); }
+  bool try_lock() EMLIO_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Tell the analysis the calling context holds this mutex without
+  /// acquiring it — for functions reached through paths the analysis cannot
+  /// follow (lambda callbacks invoked synchronously under the lock).
+  /// Purely an annotation: std::mutex cannot verify ownership at runtime,
+  /// so use it only where the locking discipline is documented.
+  void assert_held() const EMLIO_ASSERT_CAPABILITY(this) {}
+
+  /// The wrapped handle, for CondVar's adopt/release dance only. Never lock
+  /// through this directly — the analysis cannot see it.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over Mutex, tracked by the analysis (scoped capability).
+class EMLIO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) EMLIO_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() EMLIO_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable over emlio::Mutex. Every wait requires the mutex held
+/// (EMLIO_REQUIRES) and returns with it held again; internally the wait
+/// adopts the already-held native handle and releases it back untouched, so
+/// the capability never appears to change hands.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) EMLIO_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Returns true when the wait timed out (the caller re-checks its
+  /// condition either way — spurious wakeups are allowed).
+  template <class Rep, class Period>
+  bool wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& dur) EMLIO_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
+    const bool timed_out = cv_.wait_for(lock, dur) == std::cv_status::timeout;
+    lock.release();
+    return timed_out;
+  }
+
+  /// Returns true when the deadline passed.
+  template <class Clock, class Duration>
+  bool wait_until(Mutex& mu,
+                  const std::chrono::time_point<Clock, Duration>& deadline) EMLIO_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
+    const bool timed_out = cv_.wait_until(lock, deadline) == std::cv_status::timeout;
+    lock.release();
+    return timed_out;
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace emlio

@@ -50,6 +50,7 @@ PoolGovernor::PoolGovernor(std::string name, ThreadPool& pool, WindowSampler sam
   if (width != pool_.target_threads()) pool_.set_target_threads(width);
   current_.store(width, std::memory_order_relaxed);
   peak_.store(width, std::memory_order_relaxed);
+  MutexLock lock(mutex_);
   thread_ = std::thread([this] { run(); });
 }
 
@@ -58,7 +59,7 @@ PoolGovernor::~PoolGovernor() { stop(); }
 void PoolGovernor::stop() {
   std::thread control;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopped_ = true;
     control = std::move(thread_);  // only the first stop() gets the handle
   }
@@ -82,10 +83,18 @@ PoolGovernor::Stats PoolGovernor::stats() const {
 void PoolGovernor::run() {
   std::uint64_t cooldown = 0;
 
-  std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    if (cv_.wait_for(lock, config_.interval, [&] { return stopped_; })) return;
-    lock.unlock();
+    {
+      // One control interval: sleep to the deadline, waking early only for
+      // stop(). The sampler runs outside the lock — it reads engine state
+      // with its own synchronization.
+      MutexLock lock(mutex_);
+      const auto deadline = std::chrono::steady_clock::now() + config_.interval;
+      while (!stopped_) {
+        if (cv_.wait_until(mutex_, deadline)) break;  // interval elapsed
+      }
+      if (stopped_) return;
+    }
 
     Window window = sampler_();
     std::uint64_t grow_delta = window.grow;
@@ -93,7 +102,6 @@ void PoolGovernor::run() {
 
     if (cooldown > 0) {
       --cooldown;
-      lock.lock();
       continue;
     }
     std::uint64_t total = grow_delta + shrink_delta;
@@ -129,7 +137,6 @@ void PoolGovernor::run() {
                   " shrink stalls)");
       }
     }
-    lock.lock();
   }
 }
 

@@ -28,13 +28,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 
 namespace emlio {
@@ -130,10 +130,12 @@ class PoolGovernor {
   std::atomic<std::size_t> current_{0};
   std::atomic<std::size_t> peak_{0};
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopped_ = false;
-  std::thread thread_;
+  Mutex mutex_;
+  CondVar cv_;
+  bool stopped_ EMLIO_GUARDED_BY(mutex_) = false;
+  /// Control-thread handle; moved out (under the lock) by the first stop()
+  /// and joined outside it.
+  std::thread thread_ EMLIO_GUARDED_BY(mutex_);
 };
 
 }  // namespace emlio

@@ -1,0 +1,59 @@
+// Clang thread-safety analysis macros (no-ops on other compilers).
+//
+// The codebase's locking discipline — which mutex guards which field, which
+// functions must be entered with which lock held — is machine-checked by
+// clang's -Wthread-safety analysis. The CI `thread-safety` job compiles the
+// tree with clang and -Werror=thread-safety, so an unannotated access to a
+// guarded field, or a call to a REQUIRES function without its lock, fails
+// the build instead of becoming a latent race.
+//
+// Use these through emlio::Mutex / emlio::MutexLock / emlio::CondVar
+// (common/mutex.h): std::mutex itself carries no capability attributes under
+// libstdc++, so only the annotated wrapper participates in the analysis.
+//
+// Cheat sheet:
+//   EMLIO_GUARDED_BY(mu)   on a data member: reads/writes need mu held.
+//   EMLIO_PT_GUARDED_BY(mu) on a pointer member: the pointee needs mu.
+//   EMLIO_REQUIRES(mu)     on a function: callers must hold mu.
+//   EMLIO_ACQUIRE/RELEASE  on a function: it takes / drops mu itself.
+//   EMLIO_EXCLUDES(mu)     on a function: callers must NOT hold mu.
+//   EMLIO_ACQUIRED_BEFORE  lock-order edges (deadlock detection).
+//   EMLIO_NO_THREAD_SAFETY_ANALYSIS  escape hatch for patterns the
+//                          analysis cannot follow; every use needs a
+//                          comment explaining why it is sound.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define EMLIO_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define EMLIO_THREAD_ANNOTATION(x)  // no-op: gcc/msvc do not run the analysis
+#endif
+
+#define EMLIO_CAPABILITY(x) EMLIO_THREAD_ANNOTATION(capability(x))
+#define EMLIO_SCOPED_CAPABILITY EMLIO_THREAD_ANNOTATION(scoped_lockable)
+
+#define EMLIO_GUARDED_BY(x) EMLIO_THREAD_ANNOTATION(guarded_by(x))
+#define EMLIO_PT_GUARDED_BY(x) EMLIO_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define EMLIO_ACQUIRED_BEFORE(...) EMLIO_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define EMLIO_ACQUIRED_AFTER(...) EMLIO_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define EMLIO_REQUIRES(...) EMLIO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define EMLIO_REQUIRES_SHARED(...) \
+  EMLIO_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define EMLIO_ACQUIRE(...) EMLIO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define EMLIO_ACQUIRE_SHARED(...) EMLIO_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define EMLIO_RELEASE(...) EMLIO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define EMLIO_RELEASE_SHARED(...) EMLIO_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define EMLIO_TRY_ACQUIRE(...) EMLIO_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EMLIO_TRY_ACQUIRE_SHARED(...) \
+  EMLIO_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EMLIO_EXCLUDES(...) EMLIO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define EMLIO_ASSERT_CAPABILITY(x) EMLIO_THREAD_ANNOTATION(assert_capability(x))
+#define EMLIO_RETURN_CAPABILITY(x) EMLIO_THREAD_ANNOTATION(lock_returned(x))
+
+#define EMLIO_NO_THREAD_SAFETY_ANALYSIS EMLIO_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -4,43 +4,47 @@ namespace emlio {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   target_ = num_threads;
   for (std::size_t i = 0; i < num_threads; ++i) spawn_one_locked();
 }
 
 ThreadPool::~ThreadPool() {
+  // Move every handle out under the lock, then join outside it. Workers never
+  // touch workers_ (they report retirement through retired_, which nothing
+  // reads once stop_ is set), so the swapped-out map is complete: live
+  // workers and parked retirees alike are joined here.
+  std::map<std::uint64_t, std::thread> reap;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
+    reap.swap(workers_);
   }
   cv_.notify_all();
-  // Workers never touch workers_ (they report retirement through retired_),
-  // so joining without the lock is safe — and parked retirees are in here
-  // too, joined exactly like live workers.
-  for (auto& [id, t] : workers_) {
+  for (auto& [id, t] : reap) {
+    (void)id;
     if (t.joinable()) t.join();
   }
 }
 
 void ThreadPool::post(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     tasks_.push_back(std::move(task));
   }
   cv_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [&] { return tasks_.empty() && active_ == 0; });
+  MutexLock lock(mutex_);
+  while (!tasks_.empty() || active_ != 0) idle_cv_.wait(mutex_);
 }
 
 void ThreadPool::set_target_threads(std::size_t n) {
   if (n == 0) n = 1;
   std::vector<std::thread> reap;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stop_) return;  // destructor owns every join from here on
     target_ = n;
     while (live_ < target_) spawn_one_locked();
@@ -63,12 +67,12 @@ void ThreadPool::set_target_threads(std::size_t n) {
 }
 
 std::size_t ThreadPool::target_threads() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return target_;
 }
 
 std::size_t ThreadPool::thread_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return live_;
 }
 
@@ -82,19 +86,16 @@ void ThreadPool::worker_loop(std::uint64_t id) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [&] { return stop_ || !tasks_.empty() || live_ > target_; });
+      MutexLock lock(mutex_);
+      while (!stop_ && tasks_.empty() && live_ <= target_) cv_.wait(mutex_);
       if (tasks_.empty()) {
         if (stop_) return;  // shutdown: the destructor joins everyone
-        if (live_ > target_) {
-          // Retire-on-park: the queue is drained and the pool is over
-          // target. Surplus workers leave one at a time (the decrement is
-          // serialized under mutex_), never below target.
-          --live_;
-          retired_.push_back(id);
-          return;
-        }
-        continue;  // spurious wakeup
+        // Retire-on-park: the queue is drained and the pool is over target.
+        // Surplus workers leave one at a time (the decrement is serialized
+        // under mutex_), never below target.
+        --live_;
+        retired_.push_back(id);
+        return;
       }
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -102,7 +103,7 @@ void ThreadPool::worker_loop(std::uint64_t id) {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --active_;
       if (tasks_.empty() && active_ == 0) idle_cv_.notify_all();
     }

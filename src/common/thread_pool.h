@@ -5,17 +5,17 @@
 #pragma once
 
 #include <algorithm>
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace emlio {
 
@@ -77,22 +77,23 @@ class ThreadPool {
 
  private:
   void worker_loop(std::uint64_t id);
-  void spawn_one_locked();
+  void spawn_one_locked() EMLIO_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> tasks_;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> tasks_ EMLIO_GUARDED_BY(mutex_);
   /// Every spawned worker, keyed by id — live ones plus retirees whose
   /// handles await joining (a worker cannot join itself; set_target_threads
-  /// and the destructor reap them).
-  std::map<std::uint64_t, std::thread> workers_;
-  std::vector<std::uint64_t> retired_;  ///< ids whose loops have returned
-  std::uint64_t next_id_ = 0;
-  std::size_t live_ = 0;    ///< workers not yet retired
-  std::size_t target_ = 0;  ///< commanded size; live_ converges to it
-  std::size_t active_ = 0;  ///< workers currently running a task
-  bool stop_ = false;
+  /// and the destructor reap them). Handles are MOVED OUT under the lock and
+  /// joined outside it, so a join never blocks the pool.
+  std::map<std::uint64_t, std::thread> workers_ EMLIO_GUARDED_BY(mutex_);
+  std::vector<std::uint64_t> retired_ EMLIO_GUARDED_BY(mutex_);  ///< loops returned
+  std::uint64_t next_id_ EMLIO_GUARDED_BY(mutex_) = 0;
+  std::size_t live_ EMLIO_GUARDED_BY(mutex_) = 0;    ///< workers not yet retired
+  std::size_t target_ EMLIO_GUARDED_BY(mutex_) = 0;  ///< commanded size
+  std::size_t active_ EMLIO_GUARDED_BY(mutex_) = 0;  ///< workers running a task
+  bool stop_ EMLIO_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace emlio

@@ -6,7 +6,7 @@ namespace emlio {
 
 void TimestampLogger::record(std::string label, std::int64_t detail) {
   Nanos now = clock_->now();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (capacity_ != 0 && events_.size() >= capacity_) {
     events_.pop_front();
     ++dropped_;
@@ -15,13 +15,13 @@ void TimestampLogger::record(std::string label, std::int64_t detail) {
 }
 
 std::vector<TimestampLogger::Event> TimestampLogger::events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return {events_.begin(), events_.end()};
 }
 
 std::vector<TimestampLogger::Event> TimestampLogger::events_with_label(
     const std::string& label) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<Event> out;
   for (const auto& e : events_) {
     if (e.label == label) out.push_back(e);
@@ -30,7 +30,7 @@ std::vector<TimestampLogger::Event> TimestampLogger::events_with_label(
 }
 
 Nanos TimestampLogger::span(const std::string& start, const std::string& end) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Nanos first = -1;
   Nanos last = -1;
   for (const auto& e : events_) {
@@ -44,7 +44,7 @@ Nanos TimestampLogger::span(const std::string& start, const std::string& end) co
 obs::LatencyHistogram::Snapshot TimestampLogger::span_histogram(
     const std::string& start, const std::string& end) const {
   obs::LatencyHistogram hist;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // FIFO of unmatched start timestamps per detail key: each end event pairs
   // with the earliest open start carrying the same detail, so re-used batch
   // ids (one per epoch) pair within their own epoch.
@@ -64,17 +64,17 @@ obs::LatencyHistogram::Snapshot TimestampLogger::span_histogram(
 }
 
 std::uint64_t TimestampLogger::dropped_events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return dropped_;
 }
 
 std::size_t TimestampLogger::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return events_.size();
 }
 
 void TimestampLogger::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   events_.clear();
 }
 

@@ -16,11 +16,12 @@
 #pragma once
 
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/latency_histogram.h"
 
 namespace emlio {
@@ -70,9 +71,9 @@ class TimestampLogger {
  private:
   const Clock* clock_;
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::deque<Event> events_;
-  std::uint64_t dropped_ = 0;
+  mutable Mutex mutex_;
+  std::deque<Event> events_ EMLIO_GUARDED_BY(mutex_);
+  std::uint64_t dropped_ EMLIO_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace emlio

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/debug.h"
 #include "common/log.h"
 #include "common/sequencer.h"
 #include "core/lane_stats_json.h"
@@ -54,9 +55,11 @@ struct Daemon::SinkLane {
   // the queue is fed strictly in jobs[] order so the wire stream stays
   // deterministic (the same common::Sequencer the receiver's decode pool
   // uses). pump() is the only consumer.
-  std::mutex mu;
-  Sequencer<OutboundBatch> resequencer;  ///< seq → encoded result, in order
-  std::uint64_t stall_seq = UINT64_MAX;  ///< last seq counted as an enqueue stall
+  Mutex mu;
+  Sequencer<OutboundBatch> resequencer
+      EMLIO_GUARDED_BY(mu);  ///< seq → encoded result, in order
+  std::uint64_t stall_seq EMLIO_GUARDED_BY(mu) =
+      UINT64_MAX;  ///< last seq counted as an enqueue stall
 
   // Admission bookkeeping, guarded by Daemon::admit_mutex_ (NOT mu):
   std::size_t next_submit = 0;  ///< next jobs[] index to hand to the pool
@@ -106,7 +109,7 @@ DaemonStats Daemon::stats() const {
     // epoch's lanes, folded per destination node. The flat stall/peak fields
     // are the aggregates of these — the lanes array is now the source of
     // truth, not a parallel set of global atomics.
-    std::lock_guard<std::mutex> lock(lanes_mutex_);
+    MutexLock lock(lanes_mutex_);
     std::map<std::uint32_t, LaneStats> agg = lane_totals_;
     for (const SinkLane* lane : live_lanes_) {
       accumulate(agg[lane->node_id], lane->lane.stats());
@@ -175,19 +178,19 @@ json::Value to_json(const DaemonStats& s) {
 }
 
 bool Daemon::ok() const {
-  std::lock_guard<std::mutex> lock(error_mutex_);
+  MutexLock lock(error_mutex_);
   return last_error_.empty();
 }
 
 std::string Daemon::last_error() const {
-  std::lock_guard<std::mutex> lock(error_mutex_);
+  MutexLock lock(error_mutex_);
   return last_error_;
 }
 
 void Daemon::record_error(const std::string& what) {
   errors_.fetch_add(1, std::memory_order_relaxed);
   log::error("daemon ", config_.daemon_id, ": ", what);
-  std::lock_guard<std::mutex> lock(error_mutex_);
+  MutexLock lock(error_mutex_);
   if (last_error_.empty()) last_error_ = what;
 }
 
@@ -209,7 +212,7 @@ PoolGovernor::Window Daemon::sample_lane_window() {
   // measure the configured throttle, not encode overcapacity. Failed lanes
   // vote on neither side.
   PoolGovernor::Window w;
-  std::lock_guard<std::mutex> lock(lanes_mutex_);
+  MutexLock lock(lanes_mutex_);
   for (SinkLane* lane : live_lanes_) {
     LaneBaseline& base = governor_base_[lane];
     const std::uint64_t enq = lane->lane.enqueue_stalls();
@@ -260,6 +263,7 @@ void Daemon::ensure_encode_pool() {
   // weighted cycle — not queue luck — decides encode share under contention.
   // Monotone max: a later call (pool at a governed-down width) never shrinks
   // the budget below what the first sizing established.
+  MutexLock lock(admit_mutex_);
   admit_budget_ = std::max(admit_budget_, std::max<std::size_t>(4, 2 * width_cap));
 }
 
@@ -405,12 +409,12 @@ void Daemon::encode_job(SinkLane& lane, std::size_t seq) {
   // Park the result and pump: the ready prefix moves to the queue in
   // batch-id order, space permitting. Never blocks this pool thread.
   {
-    std::lock_guard<std::mutex> lock(lane.mu);
+    MutexLock lock(lane.mu);
     lane.resequencer.put(seq, std::move(out));
   }
   pump(lane);
   {
-    std::lock_guard<std::mutex> lock(admit_mutex_);
+    MutexLock lock(admit_mutex_);
     --admit_running_;
   }
   admit_more();  // the freed budget slot goes to whichever lane DWRR picks
@@ -427,7 +431,7 @@ void Daemon::pump(SinkLane& lane) {
   // lane), not a blocked thread.
   std::size_t pushed = 0;
   {
-    std::lock_guard<std::mutex> lock(lane.mu);
+    MutexLock lock(lane.mu);
     if (lane.failed.load(std::memory_order_acquire)) {
       lane.lane.close();  // abort: sender (if alive) drains then exits
       return;
@@ -457,7 +461,7 @@ void Daemon::pump(SinkLane& lane) {
   if (pushed > 0) {
     // Queued batches leave the admission window (lock order: lane.mu was
     // released above — admit_mutex_ is never taken under a lane lock).
-    std::lock_guard<std::mutex> lock(admit_mutex_);
+    MutexLock lock(admit_mutex_);
     lane.in_window -= std::min(lane.in_window, pushed);
   }
 }
@@ -472,12 +476,16 @@ void Daemon::admit_more() {
   // pool each lane's encode share now converges to weight / Σ weights.
   std::vector<std::pair<SinkLane*, std::size_t>> grants;
   {
-    std::lock_guard<std::mutex> lock(admit_mutex_);
+    MutexLock lock(admit_mutex_);
     if (epoch_lanes_.empty()) return;
+    // Local aliases: the lambda body is analyzed as a separate function, but
+    // it only ever runs synchronously below, under admit_mutex_.
+    auto& epoch_lanes = epoch_lanes_;
+    const std::size_t window_depth = admit_window_depth_;
     auto admittable = [&](std::size_t slot) {
-      SinkLane* l = epoch_lanes_[slot];
+      SinkLane* l = epoch_lanes[slot];
       return !l->failed.load(std::memory_order_acquire) &&
-             l->next_submit < l->jobs.size() && l->in_window < admit_window_depth_;
+             l->next_submit < l->jobs.size() && l->in_window < window_depth;
     };
     while (admit_running_ < admit_budget_) {
       std::size_t slot = admit_cycle_.pick(admittable);
@@ -552,11 +560,11 @@ bool Daemon::pipelined_epoch(const EpochPlan& plan,
   // mid-epoch stats() or governor window sees them live) and with the DWRR
   // admission cycle.
   {
-    std::lock_guard<std::mutex> lock(lanes_mutex_);
+    MutexLock lock(lanes_mutex_);
     for (auto& lane : lanes) live_lanes_.push_back(lane.get());
   }
   {
-    std::lock_guard<std::mutex> lock(admit_mutex_);
+    MutexLock lock(admit_mutex_);
     epoch_lanes_.clear();
     admit_cycle_ = WeightedCycle{};
     admit_running_ = 0;
@@ -587,10 +595,10 @@ bool Daemon::pipelined_epoch(const EpochPlan& plan,
         }
         daemon->encode_pool_->wait_idle();
         {
-          std::lock_guard<std::mutex> lock(daemon->admit_mutex_);
+          MutexLock lock(daemon->admit_mutex_);
           daemon->epoch_lanes_.clear();
         }
-        std::lock_guard<std::mutex> lock(daemon->lanes_mutex_);
+        MutexLock lock(daemon->lanes_mutex_);
         for (auto& lane : lanes) {
           accumulate(daemon->lane_totals_[lane->node_id], lane->lane.stats());
           daemon->governor_base_.erase(lane.get());
@@ -619,6 +627,22 @@ bool Daemon::pipelined_epoch(const EpochPlan& plan,
   for (const auto& lane : lanes) {
     if (lane->failed.load(std::memory_order_acquire)) clean = false;
   }
+#if EMLIO_AUDITS_ENABLED
+  // Conservation, per lane, after every worker joined: on a clean epoch the
+  // planned jobs all crossed the wire (encoded == queued == sent) and the
+  // re-sequencer drained. A mismatch means a batch was minted twice, lost
+  // between the resequencer and the queue, or miscounted by the sender.
+  if (clean) {
+    for (const auto& lane : lanes) {
+      EMLIO_AUDIT_EQ("daemon lane delivery conservation", lane->lane.stats().delivered_items,
+                     lane->jobs.size());
+      MutexLock lock(lane->mu);
+      EMLIO_AUDIT_EQ("daemon lane resequencer drained", lane->resequencer.next(),
+                     lane->jobs.size());
+      EMLIO_DCHECK(lane->resequencer.empty());
+    }
+  }
+#endif
   return clean;
 }
 
@@ -731,8 +755,8 @@ bool Daemon::serve_epoch(const EpochPlan& plan) {
   // End-of-epoch sentinel to every destination node this daemon serves
   // (best-effort on a failed lane: a closed sink rejects it harmlessly).
   for (auto& [node_id, sink] : sinks_) {
-    auto sentinel = msgpack::BatchCodec::make_sentinel(node_id, plan.epoch,
-                                                       counters.at(node_id).load());
+    auto sentinel = msgpack::BatchCodec::make_sentinel(
+        node_id, plan.epoch, counters.at(node_id).load(std::memory_order_relaxed));
     sink->send(msgpack::BatchCodec::encode(sentinel));
   }
   if (timestamps_) timestamps_->record("epoch_end", plan.epoch);

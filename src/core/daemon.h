@@ -26,14 +26,15 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cache/sample_cache.h"
 #include "common/clock.h"
 #include "common/lane.h"
+#include "common/mutex.h"
 #include "common/pool_governor.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "common/timestamp_logger.h"
 #include "core/planner.h"
@@ -256,8 +257,8 @@ class Daemon {
   mutable std::atomic<std::uint64_t> store_reads_{0};
   mutable std::atomic<std::uint64_t> store_records_read_{0};
 
-  mutable std::mutex error_mutex_;
-  std::string last_error_;
+  mutable Mutex error_mutex_;
+  std::string last_error_ EMLIO_GUARDED_BY(error_mutex_);
 
   // Encode-pool admission (pipelined engine), all guarded by admit_mutex_:
   // one DWRR cycle picks which sink lane gets the next encode job, bounded
@@ -265,24 +266,26 @@ class Daemon {
   // every worker fed, small enough that the weighted choice decides encode
   // share under contention) and a per-lane in-window cap (prefetch_depth:
   // admitted but not yet queued). NEVER acquired while holding a lane's mu.
-  std::mutex admit_mutex_;
-  std::vector<SinkLane*> epoch_lanes_;  ///< live only while an epoch runs
-  WeightedCycle admit_cycle_;
-  std::size_t admit_budget_ = 0;
-  std::size_t admit_running_ = 0;
-  std::size_t admit_window_depth_ = 0;
+  Mutex admit_mutex_;
+  std::vector<SinkLane*> epoch_lanes_
+      EMLIO_GUARDED_BY(admit_mutex_);  ///< live only while an epoch runs
+  WeightedCycle admit_cycle_ EMLIO_GUARDED_BY(admit_mutex_);
+  std::size_t admit_budget_ EMLIO_GUARDED_BY(admit_mutex_) = 0;
+  std::size_t admit_running_ EMLIO_GUARDED_BY(admit_mutex_) = 0;
+  std::size_t admit_window_depth_ EMLIO_GUARDED_BY(admit_mutex_) = 0;
 
   // Lane registry + lifetime accounting, guarded by lanes_mutex_ (cold
   // paths only: stats(), governor windows, epoch setup/teardown). Live
   // lanes are registered for the epoch's duration; at teardown their
   // counters fold into lane_totals_ per destination node.
-  mutable std::mutex lanes_mutex_;
-  std::vector<SinkLane*> live_lanes_;
-  std::map<std::uint32_t, LaneStats> lane_totals_;
+  mutable Mutex lanes_mutex_;
+  std::vector<SinkLane*> live_lanes_ EMLIO_GUARDED_BY(lanes_mutex_);
+  std::map<std::uint32_t, LaneStats> lane_totals_ EMLIO_GUARDED_BY(lanes_mutex_);
   struct LaneBaseline {
     std::uint64_t enq = 0, deq = 0, del = 0;
   };
-  std::map<const SinkLane*, LaneBaseline> governor_base_;  ///< sampler state
+  std::map<const SinkLane*, LaneBaseline> governor_base_
+      EMLIO_GUARDED_BY(lanes_mutex_);  ///< sampler state
 
   /// Adaptive sizing controller over encode_pool_ (config_.adaptive_pool).
   /// Declared last on purpose: it is destroyed first, so its control thread

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "common/debug.h"
 #include "common/log.h"
 #include "core/lane_stats_json.h"
 
@@ -128,7 +129,7 @@ void Receiver::close() {
   // drops) and drain unthrottled, so the dispatcher can account what is left.
   if (scheduler_) scheduler_->close_all();
   {
-    std::lock_guard<std::mutex> lock(window_mutex_);
+    MutexLock lock(window_mutex_);
     window_closed_ = true;
   }
   window_cv_.notify_all();
@@ -293,7 +294,7 @@ void Receiver::post_sender_note(std::size_t source_index, Note note) {
     // Lane closed: the source's stream already ended, nothing of it is in
     // front of us — fall through and apply directly.
   }
-  std::lock_guard<std::mutex> delivery(delivery_mutex_);
+  MutexLock delivery(delivery_mutex_);
   apply_sender_note_locked(note, sender);
 }
 
@@ -308,16 +309,23 @@ void Receiver::note_sender_revived(std::size_t source_index) {
 }
 
 void Receiver::emit(msgpack::WireBatch&& batch) {
-  // Caller holds delivery_mutex_. A rejected push means the consumer queue
-  // closed under us: keep the epoch algebra running (gaps must still fill,
-  // window slots must still free) but count every decoded data batch that
-  // will never be seen — the old engine lost these silently.
+  // Caller holds delivery_mutex_ (asserted: the epoch algebra reaches here
+  // through lambda callbacks the analysis cannot follow). A rejected push
+  // means the consumer queue closed under us: keep the epoch algebra running
+  // (gaps must still fill, window slots must still free) but count every
+  // decoded data batch that will never be seen — the old engine lost these
+  // silently.
+  delivery_mutex_.assert_held();
   const bool is_marker = batch.last;
   if (!delivery_rejected_) {
-    if (queue_.push(std::move(batch))) return;
+    if (queue_.push(std::move(batch))) {
+      if (!is_marker) delivered_batches_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     delivery_rejected_ = true;
   }
   if (is_marker) return;  // synthesized markers are not lost data
+  post_receive_drops_.fetch_add(1, std::memory_order_relaxed);
   count_drop(1, "consumer queue closed with decoded batches in flight");
 }
 
@@ -348,14 +356,13 @@ void Receiver::count_drop(std::uint64_t n, const char* where) {
   }
 }
 
-void Receiver::finish_stage_member(bool is_ingest, bool delivery_held) {
+bool Receiver::retire_stage_member(bool is_ingest) {
   // One ingest thread ended, or (pooled engine) one admitted payload was
-  // fully delivered. When the last member of both stages retires, the
-  // stream is over: account batches still held for epochs that can never
-  // complete (a sender died mid-epoch), then close the consumer queue.
+  // fully delivered. Returns true when the last member of both stages
+  // retires — the stream is over.
   bool last = false;
   {
-    std::lock_guard<std::mutex> lock(window_mutex_);
+    MutexLock lock(window_mutex_);
     if (is_ingest) {
       --ingest_active_;
     } else {
@@ -364,30 +371,50 @@ void Receiver::finish_stage_member(bool is_ingest, bool delivery_held) {
     last = ingest_active_ == 0 && inflight_ == 0;
   }
   window_cv_.notify_all();
-  if (!last) return;
+  return last;
+}
+
+void Receiver::end_of_stream_locked() {
+  // Account batches still held for epochs that can never complete (a sender
+  // died mid-epoch); the caller closes the consumer queue afterwards.
+  if (!closed_.load(std::memory_order_acquire)) {
+    // The stream ended on its own (every source finished — cleanly or
+    // dead), not by a local close: nothing further can arrive, so run the
+    // end-of-stream repair. Epochs with direct evidence complete degraded
+    // and their held batches deliver instead of leaking.
+    auto on_data = [this](msgpack::WireBatch&& ready) { emit(std::move(ready)); };
+    auto on_marker = [this](std::uint32_t epoch, std::uint64_t expected) {
+      epochs_completed_.fetch_add(1, std::memory_order_relaxed);
+      if (timestamps_) timestamps_->record("epoch_complete", epoch);
+      emit(msgpack::BatchCodec::make_sentinel(0, epoch, expected));
+    };
+    epochs_.finish(on_data, on_marker);
+    sync_epoch_telemetry_locked();
+  }
+  // A locally closed receiver skips the repair: whatever is still held
+  // counts as shutdown fallout, exactly as before.
+  std::size_t held = epochs_.held_count();
+  if (held > 0) {
+    post_receive_drops_.fetch_add(held, std::memory_order_relaxed);
+    count_drop(held, "stream ended with decoded batch(es) held for incomplete epochs");
+  }
+  // Conservation, with nothing further able to arrive: every data batch the
+  // receiver counted off the wire was delivered to the consumer queue,
+  // dropped when that queue closed under us or its epoch could never
+  // complete, or stale-dropped after a sender death. Held batches were just
+  // folded into post_receive_drops_ above, so the books must balance here.
+  EMLIO_AUDIT_EQ("receiver batch conservation",
+                 batches_received_.load(std::memory_order_relaxed),
+                 delivered_batches_.load(std::memory_order_relaxed) +
+                     post_receive_drops_.load(std::memory_order_relaxed) +
+                     epochs_.stale_drops());
+}
+
+void Receiver::finish_stage_member(bool is_ingest) {
+  if (!retire_stage_member(is_ingest)) return;
   {
-    std::unique_lock<std::mutex> delivery(delivery_mutex_, std::defer_lock);
-    if (!delivery_held) delivery.lock();
-    if (!closed_.load(std::memory_order_acquire)) {
-      // The stream ended on its own (every source finished — cleanly or
-      // dead), not by a local close: nothing further can arrive, so run the
-      // end-of-stream repair. Epochs with direct evidence complete degraded
-      // and their held batches deliver instead of leaking.
-      auto on_data = [this](msgpack::WireBatch&& ready) { emit(std::move(ready)); };
-      auto on_marker = [this](std::uint32_t epoch, std::uint64_t expected) {
-        epochs_completed_.fetch_add(1, std::memory_order_relaxed);
-        if (timestamps_) timestamps_->record("epoch_complete", epoch);
-        emit(msgpack::BatchCodec::make_sentinel(0, epoch, expected));
-      };
-      epochs_.finish(on_data, on_marker);
-      sync_epoch_telemetry_locked();
-    }
-    // A locally closed receiver skips the repair: whatever is still held
-    // counts as shutdown fallout, exactly as before.
-    std::size_t held = epochs_.held_count();
-    if (held > 0) {
-      count_drop(held, "stream ended with decoded batch(es) held for incomplete epochs");
-    }
+    MutexLock delivery(delivery_mutex_);
+    end_of_stream_locked();
   }
   queue_.close();
 }
@@ -430,7 +457,7 @@ void Receiver::serial_loop(net::MessageSource& source) {
     if (!error) {
       const bool traced = tp && !batch.last;  // sentinels are not data batches
       if (traced) adopt_batch_identity(trace, batch, payload->size());
-      std::lock_guard<std::mutex> delivery(delivery_mutex_);
+      MutexLock delivery(delivery_mutex_);
       process_batch(std::move(batch), payload->size(), sender);
       if (traced) {
         trace.note(obs::Stage::kDeliver, obs::now_ns());
@@ -442,7 +469,7 @@ void Receiver::serial_loop(net::MessageSource& source) {
       source.end_state() == net::SourceEnd::kDeadPeer) {
     // The stream ended because the peer died (and any reconnect window was
     // exhausted), not because the sender closed: repair its epochs.
-    std::lock_guard<std::mutex> delivery(delivery_mutex_);
+    MutexLock delivery(delivery_mutex_);
     apply_sender_note_locked(Note::kSenderDead, sender);
   }
   finish_stage_member(/*is_ingest=*/true);
@@ -496,7 +523,7 @@ void Receiver::serial_drain_loop() {
   while (auto item = scheduler_->pop()) {
     if (item->value.note != Note::kData) {
       // Liveness token: ordered behind its source's payloads by the lane.
-      std::lock_guard<std::mutex> delivery(delivery_mutex_);
+      MutexLock delivery(delivery_mutex_);
       apply_sender_note_locked(item->value.note, item->value.sender);
       continue;
     }
@@ -514,7 +541,7 @@ void Receiver::serial_drain_loop() {
     if (!error) {
       const bool traced = tp && !batch.last;
       if (traced) adopt_batch_identity(trace, batch, wire_bytes);
-      std::lock_guard<std::mutex> delivery(delivery_mutex_);
+      MutexLock delivery(delivery_mutex_);
       process_batch(std::move(batch), wire_bytes, item->value.sender);
       if (traced) {
         trace.note(obs::Stage::kDeliver, obs::now_ns());
@@ -547,32 +574,35 @@ void Receiver::dispatch_loop() {
     // land in the delivery stream behind the sender's already-admitted
     // batches, and the ticket order is the delivery order.
     std::uint64_t ticket = 0;
+    bool admitted = false;
     {
-      std::unique_lock<std::mutex> lock(window_mutex_);
+      MutexLock lock(window_mutex_);
       if (inflight_ >= window_ && !window_closed_) {
         // Decode (or the consumer behind it) is the bottleneck right now.
         decode_stalls_.fetch_add(1, std::memory_order_relaxed);
-        window_cv_.wait(lock, [&] { return inflight_ < window_ || window_closed_; });
+        while (inflight_ >= window_ && !window_closed_) window_cv_.wait(window_mutex_);
       }
-      if (window_closed_) {
-        // Refused admission by the closing engine: account this payload,
-        // then drain and account whatever is left in the lanes (closed
-        // lanes never block), keeping pulled == delivered + dropped.
-        lock.unlock();
-        if (payload_is_data(item->value.payload)) {
+      if (!window_closed_) {
+        ++inflight_;
+        // The ticket defines delivery order; stamping it under the same lock
+        // as admission keeps the two atomic per payload.
+        ticket = next_ticket_++;
+        admitted = true;
+      }
+    }
+    if (!admitted) {
+      // Refused admission by the closing engine: account this payload,
+      // then drain and account whatever is left in the lanes (closed
+      // lanes never block), keeping pulled == delivered + dropped.
+      if (payload_is_data(item->value.payload)) {
+        count_drop(1, "engine closed with a payload pulled off the wire mid-admission");
+      }
+      while (auto rest = scheduler_->pop()) {
+        if (payload_is_data(rest->value.payload)) {
           count_drop(1, "engine closed with a payload pulled off the wire mid-admission");
         }
-        while (auto rest = scheduler_->pop()) {
-          if (payload_is_data(rest->value.payload)) {
-            count_drop(1, "engine closed with a payload pulled off the wire mid-admission");
-          }
-        }
-        break;
       }
-      ++inflight_;
-      // The ticket defines delivery order; stamping it under the same lock
-      // as admission keeps the two atomic per payload.
-      ticket = next_ticket_++;
+      break;
     }
     decode_pool_->post([this, ticket, in = std::move(item->value)]() mutable {
       decode_job(ticket, std::move(in));
@@ -602,7 +632,7 @@ void Receiver::decode_job(std::uint64_t ticket, Inbound in) {
   // stream must never stall on a gap.
   bool in_order;
   {
-    std::lock_guard<std::mutex> lock(sequencer_mutex_);
+    MutexLock lock(sequencer_mutex_);
     in_order = resequencer_.put(ticket, std::move(decoded));
   }
   if (!in_order) resequence_stalls_.fetch_add(1, std::memory_order_relaxed);
@@ -617,20 +647,20 @@ void Receiver::pump_delivery() {
   // drainer is between "saw empty" and "released the lock".
   for (;;) {
     if (!delivery_mutex_.try_lock()) return;  // an active drainer will pick it up
-    {
-      std::lock_guard<std::mutex> delivery(delivery_mutex_, std::adopt_lock);
-      for (;;) {
-        std::optional<Decoded> head;
-        {
-          std::lock_guard<std::mutex> lock(sequencer_mutex_);
-          if (resequencer_.front()) head = resequencer_.pop_front();
-        }
-        if (!head) break;
-        process_decoded(std::move(*head));
+    for (;;) {
+      std::optional<Decoded> head;
+      {
+        MutexLock lock(sequencer_mutex_);
+        if (resequencer_.front()) head = resequencer_.pop_front();
       }
+      if (!head) break;
+      process_decoded(std::move(*head));
     }
-    std::lock_guard<std::mutex> lock(sequencer_mutex_);
-    if (!resequencer_.front()) return;
+    delivery_mutex_.unlock();
+    {
+      MutexLock lock(sequencer_mutex_);
+      if (!resequencer_.front()) return;
+    }
   }
 }
 
@@ -650,8 +680,12 @@ void Receiver::process_decoded(Decoded&& decoded) {
     }
   }
   // Delivered (or tombstoned): the window slot frees and ingest may admit
-  // the next payload.
-  finish_stage_member(/*is_ingest=*/false, /*delivery_held=*/true);
+  // the next payload. We already hold delivery_mutex_, so a last retirement
+  // runs the end-of-stream bookkeeping inline.
+  if (retire_stage_member(/*is_ingest=*/false)) {
+    end_of_stream_locked();
+    queue_.close();
+  }
 }
 
 }  // namespace emlio::core

@@ -38,17 +38,17 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/bounded_queue.h"
 #include "common/lane.h"
+#include "common/mutex.h"
 #include "common/pool_governor.h"
 #include "common/sequencer.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "common/timestamp_logger.h"
 #include "json/json.h"
@@ -259,10 +259,26 @@ class Receiver {
   void decode_job(std::uint64_t ticket, Inbound in);
   msgpack::WireBatch decode_payload(const Payload& payload, bool& error);
   void pump_delivery();
-  void process_decoded(Decoded&& decoded);
-  void process_batch(msgpack::WireBatch&& batch, std::size_t wire_bytes, std::uint32_t sender);
+  void process_decoded(Decoded&& decoded) EMLIO_REQUIRES(delivery_mutex_);
+  void process_batch(msgpack::WireBatch&& batch, std::size_t wire_bytes, std::uint32_t sender)
+      EMLIO_REQUIRES(delivery_mutex_);
+  /// Deliver one ordered batch to the consumer queue. Callers hold
+  /// delivery_mutex_ — asserted, not REQUIRES-annotated, because the epoch
+  /// algebra reaches emit through lambda callbacks the analysis treats as
+  /// separate unannotated functions.
   void emit(msgpack::WireBatch&& batch);
-  void finish_stage_member(bool is_ingest, bool delivery_held = false);
+  /// Retire one stage member (an ingest/dispatch thread, or one admitted
+  /// payload). Returns true when it was the last of both stages — the
+  /// stream is over and the caller must run end_of_stream_locked() under
+  /// delivery_mutex_, then close the consumer queue.
+  bool retire_stage_member(bool is_ingest);
+  /// End-of-stream bookkeeping: repair unfinished epochs (unless locally
+  /// closed), account batches held for epochs that can never complete, and
+  /// audit received == delivered + dropped.
+  void end_of_stream_locked() EMLIO_REQUIRES(delivery_mutex_);
+  /// retire + end_of_stream + queue close, for callers not holding
+  /// delivery_mutex_.
+  void finish_stage_member(bool is_ingest);
   /// Count a payload/batch lost to shutdown and emit the one warn line.
   void count_drop(std::uint64_t n, const char* where);
 
@@ -271,11 +287,12 @@ class Receiver {
   /// one source muxes several senders (the wire carries no sender id).
   std::uint32_t sender_for_source(std::size_t source_index) const;
   /// Apply a death/revival under delivery_mutex_ (caller holds it).
-  void apply_sender_note_locked(Note note, std::uint32_t sender);
+  void apply_sender_note_locked(Note note, std::uint32_t sender)
+      EMLIO_REQUIRES(delivery_mutex_);
   /// Mirror the epoch algebra's repair/stale counters into the stats
   /// atomics (caller holds delivery_mutex_); logs the first dead-sender
   /// drop.
-  void sync_epoch_telemetry_locked();
+  void sync_epoch_telemetry_locked() EMLIO_REQUIRES(delivery_mutex_);
   /// Route a control token through the same ordered path as the source's
   /// payloads (lane when the engine has lanes, direct otherwise).
   void post_sender_note(std::size_t source_index, Note note);
@@ -295,22 +312,22 @@ class Receiver {
   // coupling between a slow consumer and the ingest threads.
   std::unique_ptr<ThreadPool> decode_pool_;
   std::size_t window_ = 0;
-  std::mutex window_mutex_;  ///< guards inflight_/ingest_active_/next_ticket_
-  std::condition_variable window_cv_;
-  std::size_t inflight_ = 0;
-  std::size_t ingest_active_ = 0;
-  std::uint64_t next_ticket_ = 0;
-  bool window_closed_ = false;
+  Mutex window_mutex_;
+  CondVar window_cv_;
+  std::size_t inflight_ EMLIO_GUARDED_BY(window_mutex_) = 0;
+  std::size_t ingest_active_ EMLIO_GUARDED_BY(window_mutex_) = 0;
+  std::uint64_t next_ticket_ EMLIO_GUARDED_BY(window_mutex_) = 0;
+  bool window_closed_ EMLIO_GUARDED_BY(window_mutex_) = false;
 
-  std::mutex sequencer_mutex_;
-  Sequencer<Decoded> resequencer_;  ///< guarded by sequencer_mutex_
+  Mutex sequencer_mutex_;
+  Sequencer<Decoded> resequencer_ EMLIO_GUARDED_BY(sequencer_mutex_);
 
   // Delivery context: whoever holds delivery_mutex_ drains the sequencer's
   // ready prefix through the epoch bookkeeping into queue_. Serial-engine
   // threads take it blocking; pooled decode workers try-lock and hand over.
-  std::mutex delivery_mutex_;
-  EpochSequencer<msgpack::WireBatch> epochs_;  ///< guarded by delivery_mutex_
-  bool delivery_rejected_ = false;             ///< queue_ closed under us
+  Mutex delivery_mutex_;
+  EpochSequencer<msgpack::WireBatch> epochs_ EMLIO_GUARDED_BY(delivery_mutex_);
+  bool delivery_rejected_ EMLIO_GUARDED_BY(delivery_mutex_) = false;  ///< queue_ closed under us
   /// Atomic, not delivery_mutex_-guarded: drops are also counted from the
   /// ingest threads (window closed mid-admission) and the mux pumps.
   std::atomic<bool> drop_logged_{false};
@@ -333,6 +350,13 @@ class Receiver {
   std::atomic<std::uint64_t> dropped_on_close_{0};
   std::atomic<std::uint64_t> epochs_repaired_{0};
   std::atomic<std::uint64_t> dropped_dead_sender_{0};
+  // Conservation bookkeeping for the end-of-stream audit (common/debug.h):
+  // counted-received batches split into queue deliveries and post-receive
+  // drops (queue closed under us, or held for an epoch that can never
+  // complete). Mid-admission drops are excluded — those payloads never made
+  // it into batches_received_. Internal only, not surfaced in ReceiverStats.
+  std::atomic<std::uint64_t> delivered_batches_{0};
+  std::atomic<std::uint64_t> post_receive_drops_{0};
   /// One warn line for the first dead-sender drop, mirroring drop_logged_.
   std::atomic<bool> dead_drop_logged_{false};
 

@@ -167,13 +167,18 @@ class Parser {
   explicit Parser(std::string_view text) : text_(text) {}
 
   Value parse_document() {
-    Value v = parse_value();
+    Value v = parse_value(0);
     skip_ws();
     if (pos_ != text_.size()) fail("trailing characters after document");
     return v;
   }
 
  private:
+  /// Recursion bound: each nesting level costs one parse_value frame, so an
+  /// adversarial "[[[[..." document would otherwise overflow the stack. 256
+  /// is far beyond any shard index / config / bench output we emit.
+  static constexpr int kMaxDepth = 256;
+
   [[noreturn]] void fail(const std::string& msg) {
     throw std::runtime_error("json parse error at offset " + std::to_string(pos_) + ": " + msg);
   }
@@ -201,12 +206,13 @@ class Parser {
     if (next() != c) fail(std::string("expected '") + c + "'");
   }
 
-  Value parse_value() {
+  Value parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
     skip_ws();
     char c = peek();
     switch (c) {
-      case '{': return parse_object();
-      case '[': return parse_array();
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
       case '"': return Value(parse_string());
       case 't': expect_literal("true"); return Value(true);
       case 'f': expect_literal("false"); return Value(false);
@@ -220,7 +226,7 @@ class Parser {
     pos_ += lit.size();
   }
 
-  Value parse_object() {
+  Value parse_object(int depth) {
     expect('{');
     Object obj;
     skip_ws();
@@ -233,7 +239,7 @@ class Parser {
       std::string key = parse_string();
       skip_ws();
       expect(':');
-      obj[std::move(key)] = parse_value();
+      obj[std::move(key)] = parse_value(depth + 1);
       skip_ws();
       char c = next();
       if (c == '}') break;
@@ -242,7 +248,7 @@ class Parser {
     return Value(std::move(obj));
   }
 
-  Value parse_array() {
+  Value parse_array(int depth) {
     expect('[');
     Array arr;
     skip_ws();
@@ -251,7 +257,7 @@ class Parser {
       return Value(std::move(arr));
     }
     for (;;) {
-      arr.push_back(parse_value());
+      arr.push_back(parse_value(depth + 1));
       skip_ws();
       char c = next();
       if (c == ']') break;

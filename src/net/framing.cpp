@@ -17,15 +17,21 @@ std::size_t send_frame(TcpStream& stream, std::span<const std::uint8_t> payload)
   return stream.sendv_all(std::span<const std::uint8_t>(header, 8), payload);
 }
 
-std::optional<Payload> recv_frame(TcpStream& stream, BufferPool* pool) {
-  std::uint8_t header[8];
-  if (!stream.recv_all(std::span<std::uint8_t>(header, 8))) return std::nullopt;
+std::uint32_t parse_frame_header(std::span<const std::uint8_t> header) {
+  if (header.size() < kFrameHeaderBytes) throw std::runtime_error("framing: short header");
   std::uint32_t magic = 0;
   std::uint32_t length = 0;
-  std::memcpy(&magic, header, 4);
-  std::memcpy(&length, header + 4, 4);
+  std::memcpy(&magic, header.data(), 4);
+  std::memcpy(&length, header.data() + 4, 4);
   if (magic != kFrameMagic) throw std::runtime_error("framing: bad magic");
   if (length > kMaxFrameBytes) throw std::runtime_error("framing: oversized frame");
+  return length;
+}
+
+std::optional<Payload> recv_frame(TcpStream& stream, BufferPool* pool) {
+  std::uint8_t header[kFrameHeaderBytes];
+  if (!stream.recv_all(std::span<std::uint8_t>(header, kFrameHeaderBytes))) return std::nullopt;
+  const std::uint32_t length = parse_frame_header(header);
   if (pool) {
     ByteBuffer buf = pool->acquire(length);
     buf.resize(length);

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 
 #include "common/payload.h"
 #include "net/socket.h"
@@ -18,6 +19,15 @@ namespace emlio::net {
 
 inline constexpr std::uint32_t kFrameMagic = 0x454D4C31;  // "EML1"
 inline constexpr std::uint32_t kMaxFrameBytes = 1u << 30;  // 1 GiB sanity cap
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// Validate a frame header and return the payload length it announces. This
+/// is the pure half of recv_frame — the decision point that stands between
+/// attacker-controlled bytes and a payload allocation — factored out so it
+/// can be driven directly with adversarial headers (fuzz/fuzz_framing.cpp).
+/// Throws std::runtime_error on short input, bad magic, or a length above
+/// the 1 GiB cap.
+std::uint32_t parse_frame_header(std::span<const std::uint8_t> header);
 
 /// Write one framed message as a single scatter-gather syscall: header and
 /// payload go out as two iovecs of one sendmsg — no join copy, no separate

@@ -36,7 +36,7 @@ bool ShmMessageSink::send(Payload message) {
                              " bytes exceeds slab_bytes=" + std::to_string(seg_->slab_bytes()) +
                              " — raise ShmOptions::slab_bytes");
   }
-  std::lock_guard<std::mutex> lock(send_mu_);
+  MutexLock lock(send_mu_);
 
   // Acquire a free slab: spin briefly (the receiver usually returns one
   // within the spin budget when it is keeping up), then park on the
@@ -73,13 +73,13 @@ bool ShmMessageSink::send(Payload message) {
 }
 
 void ShmMessageSink::close() {
-  if (closed_.exchange(true)) return;
+  if (closed_.exchange(true, std::memory_order_seq_cst)) return;
   seg_->ring_free_bell();  // unblock a send parked waiting for a slab
   {
     // Taking send_mu_ waits out any in-flight send, so the close flag (a
     // release store) is ordered after the final data push — a receiver that
     // observes it can drain the ring to empty and miss nothing.
-    std::lock_guard<std::mutex> lock(send_mu_);
+    MutexLock lock(send_mu_);
     seg_->mark_sink_closed();
   }
   seg_->ring_data_bell();  // wake the receiver to observe the close
@@ -112,7 +112,7 @@ std::optional<Payload> ShmMessageSource::wrap_desc(std::uint64_t desc) {
   auto seg = seg_;
   return Payload::wrap_external(seg->slab_ptr(index), length, [seg, index]() {
     {
-      std::lock_guard<std::mutex> lock(seg->free_producer_mu());
+      MutexLock lock(seg->free_producer_mu());
       seg->free_push(shm_desc_make(index, 0));
     }
     seg->ring_free_bell();
@@ -120,7 +120,7 @@ std::optional<Payload> ShmMessageSource::wrap_desc(std::uint64_t desc) {
 }
 
 std::optional<Payload> ShmMessageSource::recv() {
-  std::lock_guard<std::mutex> lock(recv_mu_);
+  MutexLock lock(recv_mu_);
   std::size_t spins = 0;
   while (true) {
     if (closed_.load(std::memory_order_relaxed)) return std::nullopt;
@@ -151,7 +151,7 @@ std::optional<Payload> ShmMessageSource::recv() {
 }
 
 void ShmMessageSource::close() {
-  if (closed_.exchange(true)) return;
+  if (closed_.exchange(true, std::memory_order_seq_cst)) return;
   seg_->mark_source_closed();
   seg_->ring_data_bell();  // unblock our own parked recv
   seg_->ring_free_bell();  // fail the sender's parked send

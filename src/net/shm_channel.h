@@ -26,8 +26,10 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 #include "net/channel.h"
 #include "net/shm_segment.h"
@@ -69,7 +71,7 @@ class ShmMessageSink final : public MessageSink {
  private:
   std::shared_ptr<ShmSegment> seg_;
   ShmOptions opts_;
-  std::mutex send_mu_;          // serializes free-pop + slab write + data-push
+  Mutex send_mu_;               // serializes free-pop + slab write + data-push
   std::atomic<bool> closed_{false};
 };
 
@@ -112,7 +114,7 @@ class ShmMessageSource final : public MessageSource {
 
   std::shared_ptr<ShmSegment> seg_;
   std::size_t spin_iterations_;
-  std::mutex recv_mu_;          // serializes data-pop ordering
+  Mutex recv_mu_;               // serializes data-pop ordering
   std::atomic<bool> closed_{false};
   std::atomic<SourceEnd> end_{SourceEnd::kClean};
 };

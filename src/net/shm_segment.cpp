@@ -31,11 +31,23 @@ constexpr std::uint32_t kStateReady = 1;
 constexpr std::uint32_t kStateClosed = 2;
 constexpr std::size_t kPageAlign = 4096;
 
+// Geometry bounds shared by create() and attach-time validation. They keep
+// compute_layout's arithmetic overflow-free: slab_count * slab_bytes ≤
+// 2^20 * 2^32 = 2^52, comfortably inside size_t, and ring_capacity ≤ 2^20.
+constexpr std::size_t kMaxSlabCount = 1u << 20;
+constexpr std::size_t kMaxSlabBytes = UINT32_MAX;
+
 std::size_t align_up(std::size_t v, std::size_t a) { return (v + a - 1) & ~(a - 1); }
 
 std::uint32_t next_pow2(std::uint32_t v) {
   std::uint32_t p = 1;
-  while (p < v) p <<= 1;
+  while (p < v) {
+    // v > 2^31 has no u32 power-of-two ≥ it; without this guard the shift
+    // wraps to 0 and the loop never exits. Unreachable from create() (slab
+    // counts are capped) but reachable from a corrupt attached header.
+    if (p > (UINT32_MAX >> 1)) return 0;
+    p <<= 1;
+  }
   return p;
 }
 
@@ -81,6 +93,47 @@ long futex_call(std::atomic<std::uint32_t>* addr, int op, std::uint32_t val,
 #endif
 
 }  // namespace
+
+ShmHeaderCheck check_shm_header(const ShmSegmentHeader& hdr, std::size_t mapped_bytes,
+                                const std::string& name) {
+  const std::uint32_t state = hdr.state.load(std::memory_order_acquire);
+  if (state == kStateInitializing) {
+    // Either mid-setup (magic already stamped) or garbage that will never
+    // initialize; give the creator a beat before deciding.
+    if (hdr.magic == kMagic) return ShmHeaderCheck::kRetry;
+    throw std::runtime_error("shm segment " + name + " exists but is not an EMLIO segment");
+  }
+  if (hdr.magic != kMagic) {
+    throw std::runtime_error("shm segment " + name + " exists but is not an EMLIO segment");
+  }
+  if (hdr.version != kVersion) {
+    throw std::runtime_error("shm segment " + name + " has layout version " +
+                             std::to_string(hdr.version) + ", expected " +
+                             std::to_string(kVersion) +
+                             " (stale segment from an incompatible build?)");
+  }
+  if (state == kStateClosed) {
+    throw std::runtime_error("shm segment " + name +
+                             " was already closed by its creator (stale leftover)");
+  }
+  if (!pid_alive(hdr.creator_pid)) {
+    throw std::runtime_error("shm segment " + name + " creator (pid " +
+                             std::to_string(hdr.creator_pid) +
+                             ") is dead — stale leftover from a crashed daemon");
+  }
+  // Bounds first: compute_layout on an unchecked slab_count/slab_bytes could
+  // overflow (or spin in next_pow2) before the comparison ever ran.
+  if (hdr.slab_count == 0 || hdr.slab_count > kMaxSlabCount || hdr.slab_bytes == 0 ||
+      hdr.slab_bytes > kMaxSlabBytes) {
+    throw std::runtime_error("shm segment " + name + " geometry is inconsistent (corrupt?)");
+  }
+  const Layout layout = compute_layout(hdr.slab_bytes, hdr.slab_count);
+  if (hdr.ring_capacity != layout.ring_capacity || hdr.total_bytes != layout.total_bytes ||
+      mapped_bytes < layout.total_bytes) {
+    throw std::runtime_error("shm segment " + name + " geometry is inconsistent (corrupt?)");
+  }
+  return ShmHeaderCheck::kReady;
+}
 
 // ------------------------------------------------------------- ring + bell
 
@@ -157,10 +210,10 @@ std::shared_ptr<ShmSegment> ShmSegment::create(const std::string& raw_name, cons
   if (opts.slab_bytes == 0 || opts.slab_count == 0) {
     throw std::invalid_argument("shm segment needs slab_bytes > 0 and slab_count > 0");
   }
-  if (opts.slab_bytes > UINT32_MAX) {
+  if (opts.slab_bytes > kMaxSlabBytes) {
     throw std::invalid_argument("shm slab_bytes must fit a u32 (descriptor length field)");
   }
-  if (opts.slab_count > (1u << 20)) {
+  if (opts.slab_count > kMaxSlabCount) {
     throw std::invalid_argument("shm slab_count unreasonably large");
   }
   const std::string name = normalize_name(raw_name);
@@ -239,45 +292,17 @@ std::shared_ptr<ShmSegment> ShmSegment::try_attach(const std::string& raw_name) 
   ::close(fd);
   if (base == MAP_FAILED) throw_errno("mmap(" + name + ")");
 
-  auto unmap = [&]() { ::munmap(base, static_cast<std::size_t>(st.st_size)); };
   auto* hdr = static_cast<ShmSegmentHeader*>(base);
-  const std::uint32_t state = hdr->state.load(std::memory_order_acquire);
-  if (state == kStateInitializing) {
-    // Either mid-setup (magic already stamped) or garbage that will never
-    // initialize; give the creator a beat before deciding.
-    const bool ours = hdr->magic == kMagic;
-    unmap();
-    if (ours) return nullptr;  // retryable
-    throw std::runtime_error("shm segment " + name + " exists but is not an EMLIO segment");
+  ShmHeaderCheck verdict;
+  try {
+    verdict = check_shm_header(*hdr, static_cast<std::size_t>(st.st_size), name);
+  } catch (...) {
+    ::munmap(base, static_cast<std::size_t>(st.st_size));
+    throw;
   }
-  if (hdr->magic != kMagic) {
-    unmap();
-    throw std::runtime_error("shm segment " + name + " exists but is not an EMLIO segment");
-  }
-  if (hdr->version != kVersion) {
-    const std::uint32_t got = hdr->version;
-    unmap();
-    throw std::runtime_error("shm segment " + name + " has layout version " +
-                             std::to_string(got) + ", expected " + std::to_string(kVersion) +
-                             " (stale segment from an incompatible build?)");
-  }
-  if (state == kStateClosed) {
-    unmap();
-    throw std::runtime_error("shm segment " + name +
-                             " was already closed by its creator (stale leftover)");
-  }
-  if (!pid_alive(hdr->creator_pid)) {
-    const std::uint32_t pid = hdr->creator_pid;
-    unmap();
-    throw std::runtime_error("shm segment " + name + " creator (pid " + std::to_string(pid) +
-                             ") is dead — stale leftover from a crashed daemon");
-  }
-  const Layout layout = compute_layout(hdr->slab_bytes, hdr->slab_count);
-  if (hdr->ring_capacity != layout.ring_capacity ||
-      hdr->total_bytes != layout.total_bytes ||
-      static_cast<std::size_t>(st.st_size) < layout.total_bytes) {
-    unmap();
-    throw std::runtime_error("shm segment " + name + " geometry is inconsistent (corrupt?)");
+  if (verdict == ShmHeaderCheck::kRetry) {
+    ::munmap(base, static_cast<std::size_t>(st.st_size));
+    return nullptr;
   }
 
   auto seg = std::shared_ptr<ShmSegment>(new ShmSegment());

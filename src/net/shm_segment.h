@@ -37,9 +37,11 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace emlio::net {
 
@@ -86,6 +88,24 @@ struct ShmSegmentHeader {
 
 static_assert(std::atomic<std::uint32_t>::is_always_lock_free,
               "shared-memory rings require lock-free (address-free) u32 atomics");
+
+/// Attach-time header validation verdict. Permanent rejects (wrong magic or
+/// version, closed segment, dead creator, inconsistent geometry) throw from
+/// check_shm_header instead of returning.
+enum class ShmHeaderCheck {
+  kReady,  ///< attachable now
+  kRetry,  ///< creator still initializing — attach again shortly
+};
+
+/// Validate a mapped segment header against the number of bytes actually
+/// mapped. This is the complete attach-time gauntlet, factored out of
+/// ShmSegment::try_attach so it can be driven directly with adversarial
+/// headers (fuzz/fuzz_shm_header.cpp): state, magic, version, close flag,
+/// creator liveness, then geometry — including the bounds that keep the
+/// layout arithmetic below from overflowing on corrupt slab_count/slab_bytes.
+/// `name` only decorates the thrown error messages.
+ShmHeaderCheck check_shm_header(const ShmSegmentHeader& hdr, std::size_t mapped_bytes,
+                                const std::string& name);
 
 /// Pack/unpack a {slab index, message length} descriptor.
 constexpr std::uint64_t shm_desc_make(std::uint32_t slab_index, std::uint32_t length) {
@@ -192,8 +212,12 @@ class ShmSegment {
   /// Serializes the free ring's producer side *within this process*: payload
   /// release closures run on whatever thread drops the last handle, and each
   /// one pushes a descriptor. (Cross-process there is exactly one free-ring
-  /// producer — the receiver — so a process-local mutex suffices.)
-  std::mutex& free_producer_mu() noexcept { return free_producer_mu_; }
+  /// producer — the receiver — so a process-local mutex suffices.) The ring
+  /// words themselves are cross-process atomics, so the capability covers
+  /// the role discipline, not the data.
+  Mutex& free_producer_mu() noexcept EMLIO_RETURN_CAPABILITY(free_producer_mu_) {
+    return free_producer_mu_;
+  }
 
  private:
   ShmSegment() = default;
@@ -213,7 +237,7 @@ class ShmSegment {
   std::uint64_t* data_slots_ = nullptr;
   std::uint64_t* free_slots_ = nullptr;
   std::uint8_t* slabs_ = nullptr;
-  std::mutex free_producer_mu_;
+  Mutex free_producer_mu_;
 };
 
 }  // namespace emlio::net

@@ -54,7 +54,9 @@ class LatencyHistogram {
   /// Point-in-time copy of the counters; supports quantiles and deltas
   /// without holding the live histogram still.
   struct Snapshot {
-    std::vector<std::uint64_t> buckets;  // kBucketCount entries (empty => 0)
+    // Raw buckets feed quantile(); JSON carries the derived quantiles
+    // instead of the per-stage bucket counts.
+    std::vector<std::uint64_t> buckets;  // lint: not-serialized
     std::uint64_t count = 0;
     std::uint64_t sum = 0;
     std::uint64_t max = 0;

@@ -60,7 +60,7 @@ void TraceRing::offer(const BatchTrace& t) {
   // Fast path: once full, anything at or below the current floor can
   // never displace a resident trace.
   if (t.total_ns <= floor_ns_.load(std::memory_order_relaxed)) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (heap_.size() < capacity_) {
     heap_.push_back(t);
     std::push_heap(heap_.begin(), heap_.end(), SlowerThan{});
@@ -78,7 +78,7 @@ void TraceRing::offer(const BatchTrace& t) {
 std::vector<BatchTrace> TraceRing::slowest() const {
   std::vector<BatchTrace> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     out = heap_;
   }
   std::sort(out.begin(), out.end(), [](const BatchTrace& a, const BatchTrace& b) {

@@ -4,10 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "json/json.h"
 #include "obs/latency_histogram.h"
 
@@ -57,8 +58,8 @@ struct BatchTrace {
   std::uint64_t wire_bytes = 0;
   std::uint64_t nsamples = 0;
 
-  std::int64_t start_ns = 0;  // first boundary stamp (0 = trace inactive)
-  std::int64_t last_ns = 0;   // most recent boundary stamp
+  std::int64_t start_ns = 0;  // first boundary stamp (0 = trace inactive) — lint: not-serialized
+  std::int64_t last_ns = 0;   // most recent boundary stamp — lint: not-serialized
   std::int64_t total_ns = 0;  // last_ns - start_ns
   std::array<std::int64_t, kStageCount> stage_ns{};
 
@@ -121,8 +122,8 @@ class TraceRing {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<BatchTrace> heap_;  // min-heap on total_ns
+  mutable Mutex mu_;
+  std::vector<BatchTrace> heap_ EMLIO_GUARDED_BY(mu_);  // min-heap on total_ns
   std::atomic<std::int64_t> floor_ns_{-1};  // valid once heap_ is full
 };
 

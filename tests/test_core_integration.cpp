@@ -775,8 +775,12 @@ TEST_F(CoreIntegrationTest, TwoDaemonsOneReceiverSentinelAggregation) {
 
   std::map<std::uint32_t, std::shared_ptr<net::MessageSink>> sinks1{{0u, sink1}};
   std::map<std::uint32_t, std::shared_ptr<net::MessageSink>> sinks2{{0u, sink2}};
-  Daemon d1(DaemonConfig{"d1", false}, std::move(r1), sinks1);
-  Daemon d2(DaemonConfig{"d2", false}, std::move(r2), sinks2);
+  DaemonConfig cfg1;
+  cfg1.daemon_id = "d1";
+  DaemonConfig cfg2;
+  cfg2.daemon_id = "d2";
+  Daemon d1(cfg1, std::move(r1), sinks1);
+  Daemon d2(cfg2, std::move(r2), sinks2);
 
   std::thread t1([&] {
     d1.serve_epoch(plan);

@@ -110,5 +110,20 @@ TEST(Json, DeterministicKeyOrder) {
   EXPECT_LT(dumped.find("apple"), dumped.find("zebra"));
 }
 
+// Fuzz regression: parse_value recurses once per nesting level, so an
+// unterminated "[[[[..." document used to probe the stack until it
+// overflowed. The parser now caps nesting at 256 levels.
+TEST(Json, DeepNestingRejectedNotStackOverflow) {
+  EXPECT_THROW(parse(std::string(100000, '[')), std::runtime_error);
+  EXPECT_THROW(parse(std::string(100000, '[') + std::string(100000, ']')),
+               std::runtime_error);
+  // Mixed array/object nesting hits the same cap.
+  std::string alternating;
+  for (int i = 0; i < 300; ++i) alternating += "[{\"k\":";
+  EXPECT_THROW(parse(alternating), std::runtime_error);
+  // 100 levels — far beyond any real shard index — still parses.
+  EXPECT_NO_THROW(parse(std::string(100, '[') + std::string(100, ']')));
+}
+
 }  // namespace
 }  // namespace emlio::json

@@ -125,7 +125,7 @@ TEST(WeightedCycle, IdleSlotForfeitsItsDeficit) {
   cycle.add(1);
   // Slot 0 idles for a long stretch: slot 1 gets every pick.
   for (int i = 0; i < 100; ++i) {
-    EXPECT_EQ(cycle.pick([](std::size_t i) { return i == 1; }), 1u);
+    EXPECT_EQ(cycle.pick([](std::size_t slot) { return slot == 1; }), 1u);
   }
   // Slot 0 returns: it must NOT have banked 100 picks worth of credit —
   // its burst is bounded by ~2× its weight before slot 1 is served again.
@@ -241,8 +241,9 @@ TEST(LaneScheduler, RandomizedConservationAndOrder) {
     for (int l = 0; l < nlanes; ++l) {
       LaneQos qos;
       qos.weight = static_cast<std::uint32_t>(weight_dist(rng));
-      sched.add_lane("l" + std::to_string(l),
-                     static_cast<std::size_t>(depth_dist(rng)), qos);
+      std::string lane_name = "l";
+      lane_name += std::to_string(l);  // two steps: "l" + to_string trips GCC 12's -Wrestrict
+      sched.add_lane(lane_name, static_cast<std::size_t>(depth_dist(rng)), qos);
       counts.push_back(count_dist(rng));  // skewed: some lanes push little
     }
 

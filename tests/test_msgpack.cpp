@@ -93,7 +93,9 @@ TEST(Msgpack, RoundTripNested) {
 
 TEST(Msgpack, DecodeTruncatedThrows) {
   auto bytes = enc(Value("hello world"));
-  bytes.resize(bytes.size() - 3);
+  // Clamped subtraction: GCC 12 flags a bare size()-3 resize as a possible
+  // wraparound (stringop-overflow) under -O3 -fsanitize=address.
+  bytes.resize(bytes.size() < 3 ? 0 : bytes.size() - 3);
   EXPECT_THROW(decode(bytes), std::out_of_range);
 }
 
@@ -243,6 +245,44 @@ TEST(BatchCodec, RejectsTruncationAtEveryPrefixLength) {
   }
   // The full message still decodes.
   EXPECT_NO_THROW(BatchCodec::decode(payload));
+}
+
+// Fuzz regression: a length header may announce up to 4 GiB of payload that
+// the buffer does not contain. Truncation must surface as the ByteReader's
+// bounds check, never as a huge allocation or an out-of-bounds read.
+TEST(Msgpack, HugeLengthHeadersRejectedBeforeAllocation) {
+  // str32 / bin32 / array32 / map32 announcing 0xFFFFFFFF elements, then EOF.
+  for (std::uint8_t tag : {0xDB, 0xC6, 0xDD, 0xDF}) {
+    std::vector<std::uint8_t> bytes{tag, 0xFF, 0xFF, 0xFF, 0xFF};
+    EXPECT_THROW(decode(bytes), std::exception) << "tag 0x" << std::hex << int(tag);
+    Decoder skipper(bytes);
+    EXPECT_THROW(skipper.skip_value(), std::exception) << "tag 0x" << std::hex << int(tag);
+  }
+}
+
+// Fuzz regression: nesting is recursion, so both the decoder and skip_value
+// bound depth (a [[[[... bomb must throw, not exhaust the stack).
+TEST(Msgpack, NestingDepthCappedOnDecodeAndSkip) {
+  std::vector<std::uint8_t> bomb(600, 0x91);  // 600 nested one-element arrays
+  bomb.push_back(0xC0);
+  EXPECT_THROW(decode(bomb), std::runtime_error);
+  Decoder skipper(bomb);
+  EXPECT_THROW(skipper.skip_value(), std::runtime_error);
+  // 16 levels is comfortably inside the cap.
+  std::vector<std::uint8_t> shallow(16, 0x91);
+  shallow.push_back(0xC0);
+  EXPECT_NO_THROW(decode(shallow));
+}
+
+// Fuzz regression: a fixmap whose key slot holds a non-string value must be
+// a clean schema error (Map keys are strings in this implementation).
+TEST(Msgpack, TruncatedAndNonStringKeyMapsRejected) {
+  const std::vector<std::uint8_t> int_key{0x81, 0x07, 0xC0};  // {7: nil}
+  EXPECT_THROW(decode(int_key), std::runtime_error);
+  const std::vector<std::uint8_t> half_pair{0x81, 0xA1, 'k'};  // {"k": <EOF>
+  EXPECT_THROW(decode(half_pair), std::exception);
+  const std::vector<std::uint8_t> missing_entry{0x82, 0xA1, 'k', 0xC0};  // 2 pairs, 1 present
+  EXPECT_THROW(decode(missing_entry), std::exception);
 }
 
 TEST(BatchCodec, RejectsMalformedSchemaVariants) {

@@ -60,7 +60,7 @@ class QosTest : public ::testing::Test {
 /// payload and then wedges, so the lane delivers nothing for the rest of
 /// the wedge phase.
 struct WedgedSink final : net::MessageSink {
-  explicit WedgedSink(std::shared_ptr<net::MessageSink> inner) : inner(std::move(inner)) {}
+  explicit WedgedSink(std::shared_ptr<net::MessageSink> wrapped) : inner(std::move(wrapped)) {}
   bool send(Payload message) override {
     {
       std::unique_lock<std::mutex> lock(mu);
